@@ -1,0 +1,100 @@
+// Command cachesim runs the paper's trace-driven cache simulations on
+// a CHARISMA trace file: the compute-node cache of Figure 8, the
+// I/O-node cache sweep of Figure 9, and the combined configuration of
+// Section 4.8.
+//
+// Usage:
+//
+//	cachesim -fig 8 study.trc
+//	cachesim -fig 9 study.trc
+//	cachesim -combined study.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce: 8 or 9")
+	combined := flag.Bool("combined", false, "run the combined compute+I/O cache experiment")
+	flag.Parse()
+	if flag.NArg() != 1 || (*fig == 0 && !*combined) {
+		fmt.Fprintln(os.Stderr, "usage: cachesim (-fig 8 | -fig 9 | -combined) <trace file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+	events := trace.Postprocess(tr)
+	blockBytes := int64(tr.Header.BlockBytes)
+
+	switch {
+	case *fig == 8:
+		runFig8(events, blockBytes)
+	case *fig == 9:
+		runFig9(events, blockBytes, int(tr.Header.IONodes))
+	case *combined:
+		runCombined(events, blockBytes)
+	default:
+		fmt.Fprintf(os.Stderr, "cachesim: no such experiment: fig %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func runFig8(events []trace.Event, blockBytes int64) {
+	fmt.Println("Figure 8: compute-node caching (read-only files, LRU, 4 KB buffers)")
+	fmt.Println("CDF of per-job hit rates:")
+	for _, fr := range core.RunFig8(events, blockBytes) {
+		var cdf stats.CDF
+		for _, j := range fr.Jobs {
+			cdf.Add(100 * j.Rate())
+		}
+		fmt.Printf("\n  %d buffer(s), %d jobs:\n", fr.Buffers, len(fr.Jobs))
+		fmt.Printf("  %10s  %8s\n", "hit rate", "CDF")
+		for pct := 0; pct <= 100; pct += 10 {
+			fmt.Printf("  %9d%%  %8.4f\n", pct, cdf.At(float64(pct)))
+		}
+	}
+}
+
+func runFig9(events []trace.Event, blockBytes int64, ioNodes int) {
+	fmt.Println("Figure 9: I/O-node caching (4 KB buffers)")
+	fmt.Printf("%10s  %10s  %10s\n", "buffers", "LRU", "FIFO")
+	for _, buffers := range core.DefaultFig9Buffers() {
+		lru := cachesim.IONodeCache(events, blockBytes, ioNodes, buffers, cachesim.LRU)
+		fifo := cachesim.IONodeCache(events, blockBytes, ioNodes, buffers, cachesim.FIFO)
+		fmt.Printf("%10d  %9.1f%%  %9.1f%%\n", buffers, 100*lru.Rate(), 100*fifo.Rate())
+	}
+	fmt.Println("\nSensitivity to the number of I/O nodes (LRU, 4000 buffers):")
+	fmt.Printf("%10s  %10s\n", "I/O nodes", "hit rate")
+	for _, n := range []int{1, 2, 5, 10, 15, 20} {
+		r := cachesim.IONodeCache(events, blockBytes, n, 4000, cachesim.LRU)
+		fmt.Printf("%10d  %9.1f%%\n", n, 100*r.Rate())
+	}
+}
+
+func runCombined(events []trace.Event, blockBytes int64) {
+	comb := core.RunCombined(events, blockBytes)
+	fmt.Println("Combined caches (Section 4.8): one 4 KB buffer per compute node")
+	fmt.Println("in front of 10 I/O nodes with 50 buffers each")
+	fmt.Printf("  I/O-node hit rate, no compute caches:   %.1f%%\n", 100*comb.IONodeAlone.Rate())
+	fmt.Printf("  I/O-node hit rate, with compute caches: %.1f%%\n", 100*comb.IONodeFiltered.Rate())
+	fmt.Printf("  reduction: %.1f points (the paper measured ~3)\n",
+		100*(comb.IONodeAlone.Rate()-comb.IONodeFiltered.Rate()))
+	fmt.Printf("  requests absorbed at compute nodes: %d\n", comb.ComputeHits)
+}

@@ -1,0 +1,95 @@
+// Command charisma runs the full CHARISMA reproduction pipeline:
+// generate the calibrated synthetic workload, simulate the iPSC/860
+// while tracing every instrumented CFS call, postprocess the trace,
+// and print the paper's figures and tables.
+//
+// Usage:
+//
+//	charisma [-scale 0.1] [-seed 42] [-fig N | -table N | -report] [-trace file]
+//
+// With -fig or -table only that figure or table is printed; -report
+// (the default) prints everything. -trace additionally writes the raw
+// binary trace for later analysis with traceanal or cachesim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "study scale; 1.0 reproduces the full 156-hour study")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	fig := flag.Int("fig", 0, "print only figure N (1-7)")
+	table := flag.Int("table", 0, "print only table N (1-3)")
+	report := flag.Bool("report", false, "print the full report (default when no -fig/-table)")
+	traceOut := flag.String("trace", "", "also write the raw trace to this file")
+	flag.Parse()
+
+	res := core.RunStudy(core.DefaultConfig(*seed, *scale))
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charisma:", err)
+			os.Exit(1)
+		}
+		if _, err := res.Trace.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, "charisma: writing trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "charisma:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "charisma: wrote %d events to %s\n", len(res.Events), *traceOut)
+	}
+
+	out := selectSection(res.Report, *fig, *table, *report)
+	fmt.Print(out)
+	fmt.Printf("\nInstrumentation (Section 3): %d records in %d messages (%.1f%% of one-per-record); %d disk ops\n",
+		res.TraceRecords, res.TraceMessages,
+		100*float64(res.TraceMessages)/float64(max64(res.TraceRecords, 1)),
+		res.DiskOps)
+}
+
+func selectSection(r *analysis.Report, fig, table int, full bool) string {
+	switch {
+	case fig == 1:
+		return r.FormatFig1()
+	case fig == 2:
+		return r.FormatFig2()
+	case fig == 3:
+		return r.FormatFig3()
+	case fig == 4:
+		return r.FormatFig4()
+	case fig == 5:
+		return r.FormatFig5()
+	case fig == 6:
+		return r.FormatFig6()
+	case fig == 7:
+		return r.FormatFig7()
+	case table == 1:
+		return r.FormatTable1()
+	case table == 2:
+		return r.FormatTable2()
+	case table == 3:
+		return r.FormatTable3()
+	case fig != 0 || table != 0:
+		return fmt.Sprintf("charisma: no such figure/table (fig=%d table=%d)\n", fig, table)
+	default:
+		_ = full
+		return r.Format()
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+// Command traceanal analyzes a CHARISMA trace file produced by
+// tracegen (or charisma -trace): it postprocesses the raw blocks
+// (clock-drift correction and chronological sorting) and prints the
+// paper's figures and tables.
+//
+// Usage:
+//
+//	traceanal study.trc [-raw]
+//
+// With -raw, the drift correction is skipped (the ablation from
+// DESIGN.md): events are sorted on their raw local-clock timestamps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	raw := flag.Bool("raw", false, "skip clock-drift correction")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceanal [-raw] <trace file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceanal:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceanal:", err)
+		os.Exit(1)
+	}
+	var events []trace.Event
+	if *raw {
+		events = trace.PostprocessRaw(tr)
+	} else {
+		events = trace.Postprocess(tr)
+	}
+	var horizon sim.Time
+	if len(events) > 0 {
+		horizon = sim.Time(events[len(events)-1].Time)
+	}
+	report := analysis.Analyze(tr.Header, events, horizon)
+	fmt.Printf("trace: %d compute nodes, %d I/O nodes, %d B blocks, seed %d, %d events\n\n",
+		tr.Header.ComputeNodes, tr.Header.IONodes, tr.Header.BlockBytes,
+		tr.Header.Seed, len(events))
+	fmt.Print(report.Format())
+}

@@ -1,0 +1,41 @@
+// Command tracegen runs a study and writes the collected CHARISMA
+// trace to a binary file, without analyzing it. Use traceanal or
+// cachesim on the result.
+//
+// Usage:
+//
+//	tracegen -o study.trc [-scale 0.1] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	out := flag.String("o", "study.trc", "output trace file")
+	scale := flag.Float64("scale", 0.1, "study scale; 1.0 reproduces the full 156-hour study")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	res := core.RunStudy(core.DefaultConfig(*seed, *scale))
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	n, err := res.Trace.WriteTo(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: writing trace:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracegen: %s: %d bytes, %d blocks, %d events (%.1f simulated hours)\n",
+		*out, n, len(res.Trace.Blocks), len(res.Events), res.Horizon.ToSeconds()/3600)
+}

@@ -1,0 +1,86 @@
+// Postprocess example: demonstrate the trace pipeline's clock-drift
+// correction (Section 3.2 of the paper). It runs a two-node job whose
+// nodes alternate writes in true time, then compares the event order
+// recovered with and without the double-timestamp drift correction.
+//
+//	go run ./examples/postprocess
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cfs"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	k := sim.New()
+	cfg := machine.NASConfig(11)
+	// Exaggerate the clock problem so the effect is visible in a
+	// short run: up to half a second of startup skew, 500 ppm drift.
+	cfg.MaxClockOffset = 500 * sim.Millisecond
+	cfg.MaxClockDriftPPM = 500
+	m := machine.New(k, cfg)
+
+	// Two nodes write strictly alternately in true time; the file
+	// offset encodes the true global order.
+	const writes = 40
+	m.Submit(machine.JobSpec{
+		Nodes:  2,
+		Traced: true,
+		Body: func(ctx *machine.NodeCtx) {
+			h, err := ctx.CFS.Open(ctx.P, "/f", cfs.OWrOnly|cfs.OCreate, cfs.Mode0)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < writes; i++ {
+				// Node 0 writes at even ticks, node 1 at odd ticks.
+				ctx.P.Sleep(200 * sim.Millisecond)
+				h.WriteAt(ctx.P, int64(2*i+ctx.Rank)*100, 100)
+			}
+			h.Close(ctx.P)
+		},
+	})
+	k.Run()
+	tr := m.FinishTracing()
+
+	fmt.Println("Clock-drift correction (Section 3.2)")
+	for node := 0; node < 2; node++ {
+		c := m.Clock(node)
+		fmt.Printf("  node %d clock: offset %v, drift %+.0f ppm\n",
+			node, c.Offset(), c.DriftPPM())
+	}
+
+	fits := trace.FitClocks(tr)
+	for node := uint16(0); node < 2; node++ {
+		if fit, ok := fits[node]; ok {
+			fmt.Printf("  node %d estimated map: offset %.0f us, slope %.6f\n",
+				node, fit.Offset, fit.Slope)
+		}
+	}
+
+	trueOrder := func(ev trace.Event) int64 { return ev.Offset }
+	score := func(events []trace.Event) (int, int) {
+		var writesOnly []trace.Event
+		for _, ev := range events {
+			if ev.Type == trace.EvWrite {
+				writesOnly = append(writesOnly, ev)
+			}
+		}
+		inversions := trace.OrderError(writesOnly, trueOrder)
+		return inversions, len(writesOnly)
+	}
+
+	rawInv, n := score(trace.PostprocessRaw(tr))
+	corrInv, _ := score(trace.Postprocess(tr))
+	fmt.Printf("\nevent-order inversions over %d writes:\n", n)
+	fmt.Printf("  raw local timestamps:   %d\n", rawInv)
+	fmt.Printf("  after drift correction: %d\n", corrInv)
+	if corrInv < rawInv {
+		fmt.Println("the double-timestamp correction recovered the true interleaving")
+	} else {
+		fmt.Println("warning: correction did not improve ordering on this seed")
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: run a small CHARISMA study end to end and print the
+// headline numbers from each part of the paper.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+func main() {
+	// A study at 5% of the paper's 3016-job population. Everything is
+	// deterministic in the seed.
+	res := core.RunStudy(core.DefaultConfig(1994, 0.05))
+	r := res.Report
+
+	fmt.Println("CHARISMA reproduction: quickstart")
+	fmt.Printf("simulated %.1f hours; %d jobs; %d files opened; %d trace events\n\n",
+		res.Horizon.ToSeconds()/3600, r.TotalJobs, r.FilesOpened, len(res.Events))
+
+	fmt.Printf("machine idle %.0f%% of the time, >1 job running %.0f%% (Figure 1)\n",
+		r.IdlePct(), r.MultiJobPct())
+
+	total := float64(r.FilesOpened)
+	fmt.Printf("file classes (Section 4.2): %.0f%% write-only, %.0f%% read-only, %.0f%% read-write, %.0f%% untouched\n",
+		100*float64(r.FilesByClass[analysis.WriteOnly])/total,
+		100*float64(r.FilesByClass[analysis.ReadOnly])/total,
+		100*float64(r.FilesByClass[analysis.ReadWrite])/total,
+		100*float64(r.FilesByClass[analysis.Untouched])/total)
+
+	fmt.Printf("reads under 4000 B: %.1f%% of requests moving %.1f%% of the data (Figure 4)\n",
+		100*r.SmallReadFrac, 100*r.SmallReadData)
+
+	fmt.Printf("files using 0 or 1 interval sizes: %.1f%% (Table 2)\n",
+		100*(r.IntervalHist.Fraction(0)+r.IntervalHist.Fraction(1)))
+
+	var opens int64
+	for _, n := range r.ModeOpens {
+		opens += n
+	}
+	fmt.Printf("opens using CFS I/O mode 0: %.2f%% (Section 4.6)\n",
+		100*float64(r.ModeOpens[0])/float64(opens))
+
+	comb := core.RunCombined(res.Events, res.BlockBytes())
+	fmt.Printf("I/O-node cache hit rate %.0f%%; still %.0f%% behind per-node buffers (Section 4.8)\n",
+		100*comb.IONodeAlone.Rate(), 100*comb.IONodeFiltered.Rate())
+}

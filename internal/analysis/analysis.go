@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SmallRequestBytes is the paper's threshold for a "small" request:
+// fewer than 4000 bytes (just under the 4 KB block size).
+const SmallRequestBytes = 4000
+
+// Report holds every statistic the paper's evaluation section reports,
+// keyed by the figure or table it regenerates.
+type Report struct {
+	Header trace.Header
+
+	// Job mix -------------------------------------------------------
+	TotalJobs      int
+	SingleNodeJobs int
+	MultiNodeJobs  int
+	TracedJobs     int // jobs that produced at least one CFS event (lower bound, like the paper's)
+
+	// Figure 1: virtual time spent with N jobs running.
+	JobConcurrency map[int]sim.Time
+	Horizon        sim.Time
+
+	// Figure 2: distribution of compute nodes per job, and the share
+	// of node-time consumed by each job size.
+	NodesPerJob *stats.Hist
+	NodeTime    map[int]float64 // job size -> node-seconds
+
+	// Table 1: distinct files opened per traced job, bucketed
+	// 1,2,3,4,5+.
+	FilesPerJob *stats.Hist
+
+	// Section 4.2: file populations.
+	FilesOpened       int
+	FilesByClass      map[FileClass]int
+	TotalOpens        int64
+	TempOpenFraction  float64 // fraction of opens to temporary files
+	MeanBytesRead     float64 // per read-only-or-read-write file that read
+	MeanBytesWritten  float64
+	ReadWriteSameOpen int // files both read and written
+
+	// Figure 3: file sizes at close.
+	FileSizeCDF *stats.CDF
+
+	// Figure 4: request sizes.
+	ReadCountBySize  *stats.CDF // one sample per read, value = request size
+	ReadBytesBySize  *stats.CDF // request size weighted by bytes moved
+	WriteCountBySize *stats.CDF
+	WriteBytesBySize *stats.CDF
+	SmallReadFrac    float64 // fraction of reads under SmallRequestBytes
+	SmallReadData    float64 // fraction of read bytes moved by them
+	SmallWriteFrac   float64
+	SmallWriteData   float64
+
+	// Figures 5 and 6: per-file percent-sequential and
+	// percent-consecutive CDFs by class.
+	SeqPct  map[FileClass]*stats.CDF
+	ConsPct map[FileClass]*stats.CDF
+
+	// Table 2: distinct interval sizes per file.
+	IntervalHist *stats.Hist // distinct-interval-count -> files
+	// Fraction of 1-interval files whose single interval is zero
+	// (purely consecutive); the paper reports >99%.
+	OneIntervalZeroFrac float64
+
+	// Table 3: distinct request sizes per file.
+	ReqSizeHist *stats.Hist
+
+	// Section 4.6: opens per I/O mode.
+	ModeOpens [4]int64
+
+	// Figure 7: byte- and block-granularity sharing CDFs among files
+	// concurrently opened by multiple nodes.
+	ByteSharing  map[FileClass]*stats.CDF
+	BlockSharing map[FileClass]*stats.CDF
+}
+
+// Analyze computes a Report from a postprocessed (time-ordered) event
+// stream. The horizon is the duration of the traced period; pass the
+// simulation end time, or 0 to use the last event's timestamp.
+func Analyze(header trace.Header, events []trace.Event, horizon sim.Time) *Report {
+	r := &Report{
+		Header:         header,
+		JobConcurrency: make(map[int]sim.Time),
+		NodesPerJob:    &stats.Hist{},
+		NodeTime:       make(map[int]float64),
+		FilesPerJob:    &stats.Hist{},
+		FilesByClass:   make(map[FileClass]int),
+		FileSizeCDF:    &stats.CDF{},
+
+		ReadCountBySize:  &stats.CDF{},
+		ReadBytesBySize:  &stats.CDF{},
+		WriteCountBySize: &stats.CDF{},
+		WriteBytesBySize: &stats.CDF{},
+
+		SeqPct:       newClassCDFs(),
+		ConsPct:      newClassCDFs(),
+		IntervalHist: &stats.Hist{},
+		ReqSizeHist:  &stats.Hist{},
+		ByteSharing:  newClassCDFs(),
+		BlockSharing: newClassCDFs(),
+	}
+	blockBytes := int64(header.BlockBytes)
+	if blockBytes <= 0 {
+		blockBytes = 4096
+	}
+
+	files := make(map[uint64]*fileAcc)
+	jobStart := make(map[uint32]sim.Time)
+	jobNodes := make(map[uint32]int)
+	jobFiles := make(map[uint32]map[uint64]struct{})
+	var lastT sim.Time
+
+	var edges []edge
+
+	for i := range events {
+		ev := &events[i]
+		t := sim.Time(ev.Time)
+		if t > lastT {
+			lastT = t
+		}
+		switch ev.Type {
+		case trace.EvJobStart:
+			r.TotalJobs++
+			nodes := int(ev.Size)
+			if nodes <= 1 {
+				r.SingleNodeJobs++
+			} else {
+				r.MultiNodeJobs++
+			}
+			r.NodesPerJob.Add(int64(nodes))
+			jobStart[ev.Job] = t
+			jobNodes[ev.Job] = nodes
+			edges = append(edges, edge{t, +1})
+		case trace.EvJobEnd:
+			if start, ok := jobStart[ev.Job]; ok {
+				r.NodeTime[jobNodes[ev.Job]] +=
+					float64(jobNodes[ev.Job]) * (t - start).ToSeconds()
+			}
+			edges = append(edges, edge{t, -1})
+		case trace.EvOpen:
+			r.TotalOpens++
+			if int(ev.Mode) < len(r.ModeOpens) {
+				r.ModeOpens[ev.Mode]++
+			}
+			if jobFiles[ev.Job] == nil {
+				jobFiles[ev.Job] = make(map[uint64]struct{})
+			}
+			jobFiles[ev.Job][ev.File] = struct{}{}
+			fileFor(files, ev.File).observe(ev)
+		case trace.EvClose, trace.EvDelete:
+			fileFor(files, ev.File).observe(ev)
+		case trace.EvRead:
+			r.ReadCountBySize.Add(float64(ev.Size))
+			fileFor(files, ev.File).observe(ev)
+		case trace.EvWrite:
+			r.WriteCountBySize.Add(float64(ev.Size))
+			fileFor(files, ev.File).observe(ev)
+		case trace.EvReadStrided:
+			r.ReadCountBySize.Add(float64(ev.Bytes()))
+			fileFor(files, ev.File).observe(ev)
+		case trace.EvWriteStrided:
+			r.WriteCountBySize.Add(float64(ev.Bytes()))
+			fileFor(files, ev.File).observe(ev)
+		case trace.EvSeek:
+			// Seeks move pointers; the request stream itself is what
+			// the paper characterizes.
+		}
+	}
+	if horizon <= 0 {
+		horizon = lastT
+	}
+	r.Horizon = horizon
+	r.JobConcurrency = concurrencyFromEdges(edges, horizon)
+
+	// Traced jobs: those that opened at least one file.
+	r.TracedJobs = len(jobFiles)
+	for _, fs := range jobFiles {
+		r.FilesPerJob.Add(int64(len(fs)))
+	}
+
+	// Per-file statistics.
+	ids := make([]uint64, 0, len(files))
+	for id := range files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var tempOpens int64
+	var roFiles, woFiles int
+	var roBytes, woBytes float64
+	var oneIntervalZero, oneIntervalTotal int64
+	for _, id := range ids {
+		f := files[id]
+		r.FilesOpened++
+		class := f.class()
+		r.FilesByClass[class]++
+		if class == ReadWrite {
+			r.ReadWriteSameOpen++
+		}
+		if class == ReadOnly {
+			roFiles++
+			roBytes += float64(f.bytesRead)
+		}
+		if class == WriteOnly {
+			woFiles++
+			woBytes += float64(f.bytesWritten)
+		}
+		tempOpens += int64(f.tempOpens)
+		if f.closed {
+			r.FileSizeCDF.Add(float64(f.sizeAtClose))
+		}
+
+		// Figures 5-6: files with more than one request, per the paper.
+		if f.totalRequests() > 1 {
+			if seqPct, consPct, ok := f.seqConsPct(); ok {
+				r.SeqPct[class].Add(seqPct)
+				r.ConsPct[class].Add(consPct)
+			}
+		}
+
+		// Table 2.
+		nIntervals, allZero := f.distinctIntervals()
+		r.IntervalHist.Add(int64(nIntervals))
+		if nIntervals == 1 {
+			oneIntervalTotal++
+			if allZero {
+				oneIntervalZero++
+			}
+		}
+
+		// Table 3.
+		r.ReqSizeHist.Add(int64(len(f.reqSizes)))
+
+		// Figure 7: concurrently open on >= 2 nodes.
+		if f.maxOpenNodes >= 2 {
+			if bytePct, blockPct, ok := f.sharing(blockBytes); ok {
+				r.ByteSharing[class].Add(bytePct)
+				r.BlockSharing[class].Add(blockPct)
+			}
+		}
+	}
+	if r.TotalOpens > 0 {
+		r.TempOpenFraction = float64(tempOpens) / float64(r.TotalOpens)
+	}
+	if roFiles > 0 {
+		r.MeanBytesRead = roBytes / float64(roFiles)
+	}
+	if woFiles > 0 {
+		r.MeanBytesWritten = woBytes / float64(woFiles)
+	}
+	if oneIntervalTotal > 0 {
+		r.OneIntervalZeroFrac = float64(oneIntervalZero) / float64(oneIntervalTotal)
+	}
+
+	// Figure 4 byte-weighted CDFs and small-request fractions.
+	fillBytesBySize(r.ReadCountBySize, r.ReadBytesBySize)
+	fillBytesBySize(r.WriteCountBySize, r.WriteBytesBySize)
+	r.SmallReadFrac = r.ReadCountBySize.At(SmallRequestBytes - 1)
+	r.SmallWriteFrac = r.WriteCountBySize.At(SmallRequestBytes - 1)
+	r.SmallReadData = r.ReadBytesBySize.At(SmallRequestBytes - 1)
+	r.SmallWriteData = r.WriteBytesBySize.At(SmallRequestBytes - 1)
+	return r
+}
+
+func fileFor(files map[uint64]*fileAcc, id uint64) *fileAcc {
+	f := files[id]
+	if f == nil {
+		f = newFileAcc(id)
+		files[id] = f
+	}
+	return f
+}
+
+func newClassCDFs() map[FileClass]*stats.CDF {
+	m := make(map[FileClass]*stats.CDF, numClasses)
+	for c := Untouched; c < numClasses; c++ {
+		m[c] = &stats.CDF{}
+	}
+	return m
+}
+
+// fillBytesBySize builds the bytes-weighted request-size CDF from the
+// count CDF's samples. Each request of size s contributes s bytes of
+// weight at position s. To bound memory, byte weights are added in
+// kilobyte granules; Steps() gives distinct sizes and cumulative
+// fractions, from which per-size counts are recovered by differencing.
+func fillBytesBySize(counts, bytes *stats.CDF) {
+	steps := counts.Steps()
+	n := float64(counts.Len())
+	prev := 0.0
+	for _, st := range steps {
+		countHere := (st.F - prev) * n
+		prev = st.F
+		granules := int(st.X * countHere / 1024)
+		if granules < 1 && st.X*countHere > 0 {
+			granules = 1
+		}
+		bytes.AddN(st.X, granules)
+	}
+}
+
+// edge is a +1/-1 job-concurrency transition at time t.
+type edge struct {
+	t sim.Time
+	d int
+}
+
+// concurrencyFromEdges integrates the +1/-1 job edges into time spent
+// at each concurrency level over [0, horizon).
+func concurrencyFromEdges(edges []edge, horizon sim.Time) map[int]sim.Time {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].d < edges[j].d
+	})
+	profile := make(map[int]sim.Time)
+	var prev sim.Time
+	level := 0
+	for _, e := range edges {
+		t := e.t
+		if t > horizon {
+			t = horizon
+		}
+		if t > prev {
+			profile[level] += t - prev
+			prev = t
+		}
+		level += e.d
+	}
+	if prev < horizon {
+		profile[level] += horizon - prev
+	}
+	return profile
+}

@@ -1,0 +1,380 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func header() trace.Header {
+	return trace.Header{ComputeNodes: 128, IONodes: 10, BlockBytes: 4096, BufferBytes: 4096}
+}
+
+// evb builds event streams for tests.
+type evb struct {
+	events []trace.Event
+	t      int64
+}
+
+func (b *evb) add(ev trace.Event) *evb {
+	b.t += 1000
+	ev.Time = b.t
+	b.events = append(b.events, ev)
+	return b
+}
+
+func (b *evb) jobStart(job uint32, nodes int) *evb {
+	return b.add(trace.Event{Type: trace.EvJobStart, Job: job, Size: int64(nodes), Flags: trace.FlagInstrumented})
+}
+func (b *evb) jobEnd(job uint32) *evb {
+	return b.add(trace.Event{Type: trace.EvJobEnd, Job: job})
+}
+func (b *evb) open(job uint32, node uint16, file uint64, mode uint8) *evb {
+	return b.add(trace.Event{Type: trace.EvOpen, Job: job, Node: node, File: file, Mode: mode})
+}
+func (b *evb) openCreate(job uint32, node uint16, file uint64) *evb {
+	return b.add(trace.Event{Type: trace.EvOpen, Job: job, Node: node, File: file, Flags: trace.FlagCreate})
+}
+func (b *evb) read(job uint32, node uint16, file uint64, off, size int64) *evb {
+	return b.add(trace.Event{Type: trace.EvRead, Job: job, Node: node, File: file, Offset: off, Size: size})
+}
+func (b *evb) write(job uint32, node uint16, file uint64, off, size int64) *evb {
+	return b.add(trace.Event{Type: trace.EvWrite, Job: job, Node: node, File: file, Offset: off, Size: size})
+}
+func (b *evb) close(job uint32, node uint16, file uint64, size int64) *evb {
+	return b.add(trace.Event{Type: trace.EvClose, Job: job, Node: node, File: file, Size: size})
+}
+func (b *evb) del(job uint32, file uint64) *evb {
+	return b.add(trace.Event{Type: trace.EvDelete, Job: job, File: file})
+}
+
+func TestFileClassification(t *testing.T) {
+	b := &evb{}
+	b.jobStart(1, 2)
+	b.open(1, 0, 10, 0).read(1, 0, 10, 0, 100).close(1, 0, 10, 100)
+	b.open(1, 0, 11, 0).write(1, 0, 11, 0, 100).close(1, 0, 11, 100)
+	b.open(1, 0, 12, 0).read(1, 0, 12, 0, 50).write(1, 0, 12, 0, 50).close(1, 0, 12, 100)
+	b.open(1, 0, 13, 0).close(1, 0, 13, 0)
+	b.jobEnd(1)
+	r := Analyze(header(), b.events, 0)
+	if r.FilesByClass[ReadOnly] != 1 || r.FilesByClass[WriteOnly] != 1 ||
+		r.FilesByClass[ReadWrite] != 1 || r.FilesByClass[Untouched] != 1 {
+		t.Fatalf("classes = %v", r.FilesByClass)
+	}
+	if r.FilesOpened != 4 || r.TotalOpens != 4 {
+		t.Fatalf("files=%d opens=%d", r.FilesOpened, r.TotalOpens)
+	}
+}
+
+func TestJobMixCounts(t *testing.T) {
+	b := &evb{}
+	b.jobStart(1, 1).jobEnd(1)
+	b.jobStart(2, 16).jobEnd(2)
+	b.jobStart(3, 1).jobEnd(3)
+	r := Analyze(header(), b.events, 0)
+	if r.TotalJobs != 3 || r.SingleNodeJobs != 2 || r.MultiNodeJobs != 1 {
+		t.Fatalf("jobs: total=%d single=%d multi=%d", r.TotalJobs, r.SingleNodeJobs, r.MultiNodeJobs)
+	}
+	if r.NodesPerJob.Count(1) != 2 || r.NodesPerJob.Count(16) != 1 {
+		t.Fatal("nodes-per-job histogram wrong")
+	}
+}
+
+func TestConcurrencyProfile(t *testing.T) {
+	events := []trace.Event{
+		{Type: trace.EvJobStart, Job: 1, Size: 1, Time: 0},
+		{Type: trace.EvJobStart, Job: 2, Size: 1, Time: 500},
+		{Type: trace.EvJobEnd, Job: 1, Time: 1000},
+		{Type: trace.EvJobEnd, Job: 2, Time: 1500},
+	}
+	r := Analyze(header(), events, 2000)
+	if r.JobConcurrency[0] != 500 {
+		t.Fatalf("idle = %v", r.JobConcurrency[0])
+	}
+	if r.JobConcurrency[1] != 1000 {
+		t.Fatalf("one job = %v", r.JobConcurrency[1])
+	}
+	if r.JobConcurrency[2] != 500 {
+		t.Fatalf("two jobs = %v", r.JobConcurrency[2])
+	}
+	if math.Abs(r.IdlePct()-25) > 1e-9 {
+		t.Fatalf("idle pct = %v", r.IdlePct())
+	}
+	if math.Abs(r.MultiJobPct()-25) > 1e-9 {
+		t.Fatalf("multi pct = %v", r.MultiJobPct())
+	}
+}
+
+func TestFilesPerJobTable1(t *testing.T) {
+	b := &evb{}
+	b.jobStart(1, 1)
+	b.open(1, 0, 1, 0) // job 1 opens one file
+	b.jobStart(2, 2)
+	for f := uint64(10); f < 16; f++ { // job 2 opens six files
+		b.open(2, 0, f, 0)
+	}
+	b.jobEnd(1).jobEnd(2)
+	r := Analyze(header(), b.events, 0)
+	if r.TracedJobs != 2 {
+		t.Fatalf("traced jobs = %d", r.TracedJobs)
+	}
+	buckets := r.FilesPerJob.Bucketed([]int64{1, 2, 3, 4})
+	if buckets[0] != 1 { // one job opened exactly 1 file
+		t.Fatalf("bucket[1 file] = %d", buckets[0])
+	}
+	if buckets[4] != 1 { // one job opened 5+
+		t.Fatalf("bucket[5+] = %d", buckets[4])
+	}
+}
+
+func TestFileSizeCDFUsesCloseSize(t *testing.T) {
+	b := &evb{}
+	b.open(1, 0, 1, 0).close(1, 0, 1, 25000)
+	b.open(1, 0, 2, 0).close(1, 0, 2, 250000)
+	r := Analyze(header(), b.events, 0)
+	if r.FileSizeCDF.Len() != 2 {
+		t.Fatalf("CDF has %d samples", r.FileSizeCDF.Len())
+	}
+	if r.FileSizeCDF.At(25000) != 0.5 || r.FileSizeCDF.At(250000) != 1 {
+		t.Fatal("file size CDF wrong")
+	}
+}
+
+func TestRequestSizeCDFs(t *testing.T) {
+	b := &evb{}
+	b.open(1, 0, 1, 0)
+	// 9 small reads of 100 B and one large read of 99100 B: 90% of
+	// requests are small but carry under 1% of the bytes.
+	for i := 0; i < 9; i++ {
+		b.read(1, 0, 1, int64(i*100), 100)
+	}
+	b.read(1, 0, 1, 900, 99100)
+	r := Analyze(header(), b.events, 0)
+	if got := r.ReadCountBySize.At(100); got != 0.9 {
+		t.Fatalf("count CDF at 100 = %v", got)
+	}
+	if r.SmallReadFrac != 0.9 {
+		t.Fatalf("small read frac = %v", r.SmallReadFrac)
+	}
+	if r.SmallReadData > 0.02 {
+		t.Fatalf("small read data frac = %v", r.SmallReadData)
+	}
+}
+
+func TestSequentialityConsecutive(t *testing.T) {
+	b := &evb{}
+	// File 1: node 0 reads consecutively -> 100% seq, 100% cons.
+	b.open(1, 0, 1, 0)
+	for i := 0; i < 10; i++ {
+		b.read(1, 0, 1, int64(i*100), 100)
+	}
+	// File 2: node 0 reads with gaps (interleaved) -> 100% seq, 0% cons.
+	b.open(1, 0, 2, 0)
+	for i := 0; i < 10; i++ {
+		b.read(1, 0, 2, int64(i*1000), 100)
+	}
+	// File 3: node 0 reads backwards -> 0% seq, 0% cons.
+	b.open(1, 0, 3, 0)
+	for i := 9; i >= 0; i-- {
+		b.read(1, 0, 3, int64(i*100), 100)
+	}
+	r := Analyze(header(), b.events, 0)
+	seq := r.SeqPct[ReadOnly]
+	cons := r.ConsPct[ReadOnly]
+	if seq.Len() != 3 || cons.Len() != 3 {
+		t.Fatalf("seq/cons samples: %d/%d", seq.Len(), cons.Len())
+	}
+	// The backwards file scores 10% sequential (its first request, at
+	// a positive offset, counts); the other two score 100%.
+	if seq.At(10) < 0.33 || seq.At(10) > 0.34 {
+		t.Fatalf("seq CDF at 10%% = %v", seq.At(10))
+	}
+	if seq.At(99) != seq.At(10) {
+		t.Fatal("files between 10 and 100% sequential should not exist here")
+	}
+	// Consecutive: backwards file 0%, gapped file 10% (its first
+	// request starts at byte zero), consecutive file 100%.
+	if cons.At(0) < 0.33 || cons.At(0) > 0.34 {
+		t.Fatalf("cons CDF at 0%% = %v", cons.At(0))
+	}
+	if cons.At(10) < 0.66 || cons.At(10) > 0.67 {
+		t.Fatalf("cons CDF at 10%% = %v", cons.At(10))
+	}
+}
+
+func TestSingleRequestFilesExcludedFromSeq(t *testing.T) {
+	b := &evb{}
+	b.open(1, 0, 1, 0).read(1, 0, 1, 0, 100)
+	r := Analyze(header(), b.events, 0)
+	if r.SeqPct[ReadOnly].Len() != 0 {
+		t.Fatal("file with one request should not appear in Figure 5")
+	}
+}
+
+func TestIntervalTable2(t *testing.T) {
+	b := &evb{}
+	// File 1: one request per node on two nodes -> 0 intervals.
+	b.open(1, 0, 1, 0).open(1, 1, 1, 0)
+	b.read(1, 0, 1, 0, 100).read(1, 1, 1, 100, 100)
+	// File 2: consecutive stream -> 1 interval size (zero).
+	b.open(1, 0, 2, 0)
+	for i := 0; i < 5; i++ {
+		b.read(1, 0, 2, int64(i*100), 100)
+	}
+	// File 3: strided stream -> 1 interval size (non-zero).
+	b.open(1, 0, 3, 0)
+	for i := 0; i < 5; i++ {
+		b.read(1, 0, 3, int64(i*1000), 100)
+	}
+	// File 4: two interval sizes.
+	b.open(1, 0, 4, 0)
+	b.read(1, 0, 4, 0, 100).read(1, 0, 4, 100, 100).read(1, 0, 4, 1000, 100)
+	r := Analyze(header(), b.events, 0)
+	if r.IntervalHist.Count(0) != 1 {
+		t.Fatalf("0-interval files = %d", r.IntervalHist.Count(0))
+	}
+	if r.IntervalHist.Count(1) != 2 {
+		t.Fatalf("1-interval files = %d", r.IntervalHist.Count(1))
+	}
+	if r.IntervalHist.Count(2) != 1 {
+		t.Fatalf("2-interval files = %d", r.IntervalHist.Count(2))
+	}
+	if r.OneIntervalZeroFrac != 0.5 {
+		t.Fatalf("one-interval-zero frac = %v", r.OneIntervalZeroFrac)
+	}
+}
+
+func TestRequestSizeTable3(t *testing.T) {
+	b := &evb{}
+	b.open(1, 0, 1, 0)                                               // untouched -> 0 sizes
+	b.open(1, 0, 2, 0).read(1, 0, 2, 0, 100).read(1, 0, 2, 100, 100) // 1 size
+	b.open(1, 0, 3, 0).read(1, 0, 3, 0, 100).read(1, 0, 3, 100, 200) // 2 sizes
+	r := Analyze(header(), b.events, 0)
+	if r.ReqSizeHist.Count(0) != 1 || r.ReqSizeHist.Count(1) != 1 || r.ReqSizeHist.Count(2) != 1 {
+		t.Fatalf("req size hist: %v %v %v",
+			r.ReqSizeHist.Count(0), r.ReqSizeHist.Count(1), r.ReqSizeHist.Count(2))
+	}
+}
+
+func TestModeUsage(t *testing.T) {
+	b := &evb{}
+	b.open(1, 0, 1, 0).open(1, 0, 2, 0).open(1, 0, 3, 1)
+	r := Analyze(header(), b.events, 0)
+	if r.ModeOpens[0] != 2 || r.ModeOpens[1] != 1 {
+		t.Fatalf("mode opens = %v", r.ModeOpens)
+	}
+}
+
+func TestTempFileDetection(t *testing.T) {
+	b := &evb{}
+	b.openCreate(1, 0, 1)
+	b.write(1, 0, 1, 0, 100)
+	b.close(1, 0, 1, 100)
+	b.del(1, 1) // same job deletes it: temporary
+	b.openCreate(2, 0, 2)
+	b.close(2, 0, 2, 0) // job 2's file survives
+	r := Analyze(header(), b.events, 0)
+	if r.TempOpenFraction != 0.5 {
+		t.Fatalf("temp open fraction = %v", r.TempOpenFraction)
+	}
+}
+
+func TestDeleteByOtherJobNotTemporary(t *testing.T) {
+	b := &evb{}
+	b.openCreate(1, 0, 1)
+	b.close(1, 0, 1, 0)
+	b.del(2, 1) // different job deletes: not temporary
+	r := Analyze(header(), b.events, 0)
+	if r.TempOpenFraction != 0 {
+		t.Fatalf("temp fraction = %v", r.TempOpenFraction)
+	}
+}
+
+func TestByteAndBlockSharing(t *testing.T) {
+	b := &evb{}
+	// File 1: both nodes read all 8192 bytes concurrently -> 100%
+	// byte- and block-shared.
+	b.open(1, 0, 1, 0).open(1, 1, 1, 0)
+	b.read(1, 0, 1, 0, 8192).read(1, 1, 1, 0, 8192)
+	b.close(1, 0, 1, 8192).close(1, 1, 1, 8192)
+	// File 2: nodes write disjoint halves of one 4 KB block -> 0%
+	// byte-shared but 100% block-shared.
+	b.open(2, 0, 2, 0).open(2, 1, 2, 0)
+	b.write(2, 0, 2, 0, 2048).write(2, 1, 2, 2048, 2048)
+	b.close(2, 0, 2, 4096).close(2, 1, 2, 4096)
+	r := Analyze(header(), b.events, 0)
+	ro := r.ByteSharing[ReadOnly]
+	if ro.Len() != 1 || ro.At(99) != 0 || ro.At(100) != 1 {
+		t.Fatalf("RO byte sharing: len=%d", ro.Len())
+	}
+	wo := r.ByteSharing[WriteOnly]
+	if wo.Len() != 1 || wo.At(0) != 1 {
+		t.Fatalf("WO byte sharing should be 0%%")
+	}
+	wob := r.BlockSharing[WriteOnly]
+	if wob.At(99) != 0 || wob.At(100) != 1 {
+		t.Fatal("WO block sharing should be 100%")
+	}
+}
+
+func TestNonConcurrentFilesExcludedFromSharing(t *testing.T) {
+	b := &evb{}
+	// Node 0 opens, reads, closes; then node 1 does. Never concurrent.
+	b.open(1, 0, 1, 0).read(1, 0, 1, 0, 100).close(1, 0, 1, 100)
+	b.open(1, 1, 1, 0).read(1, 1, 1, 0, 100).close(1, 1, 1, 100)
+	r := Analyze(header(), b.events, 0)
+	if r.ByteSharing[ReadOnly].Len() != 0 {
+		t.Fatal("sequentially-opened file counted as concurrently shared")
+	}
+}
+
+func TestMeanBytesPerFile(t *testing.T) {
+	b := &evb{}
+	b.open(1, 0, 1, 0).read(1, 0, 1, 0, 1000).close(1, 0, 1, 1000)
+	b.open(1, 0, 2, 0).read(1, 0, 2, 0, 3000).close(1, 0, 2, 3000)
+	b.open(1, 0, 3, 0).write(1, 0, 3, 0, 500).close(1, 0, 3, 500)
+	r := Analyze(header(), b.events, 0)
+	if r.MeanBytesRead != 2000 {
+		t.Fatalf("mean read bytes = %v", r.MeanBytesRead)
+	}
+	if r.MeanBytesWritten != 500 {
+		t.Fatalf("mean written bytes = %v", r.MeanBytesWritten)
+	}
+}
+
+func TestFormatsRender(t *testing.T) {
+	b := &evb{}
+	b.jobStart(1, 4)
+	b.open(1, 0, 1, 0)
+	for i := 0; i < 5; i++ {
+		b.read(1, 0, 1, int64(i*100), 100)
+	}
+	b.close(1, 0, 1, 500)
+	b.jobEnd(1)
+	r := Analyze(header(), b.events, sim.Hour)
+	full := r.Format()
+	for _, frag := range []string{
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Table 1", "Table 2", "Table 3",
+		"Job mix", "File populations", "mode 0",
+	} {
+		if !strings.Contains(full, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}
+
+func TestEmptyEventStream(t *testing.T) {
+	r := Analyze(header(), nil, sim.Hour)
+	if r.TotalJobs != 0 || r.FilesOpened != 0 {
+		t.Fatal("empty stream produced nonzero counts")
+	}
+	if r.JobConcurrency[0] != sim.Hour {
+		t.Fatalf("idle time = %v", r.JobConcurrency[0])
+	}
+	// Formatting must not panic on the empty report.
+	_ = r.Format()
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FormatFig1 renders the Figure 1 data: percent of traced time spent
+// with each number of jobs running.
+func (r *Report) FormatFig1() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: time spent with N jobs running\n")
+	fmt.Fprintf(&b, "%6s  %12s  %8s\n", "jobs", "hours", "percent")
+	maxLevel := 0
+	for level := range r.JobConcurrency {
+		if level > maxLevel {
+			maxLevel = level
+		}
+	}
+	total := float64(r.Horizon)
+	for level := 0; level <= maxLevel; level++ {
+		t := r.JobConcurrency[level]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(t) / total
+		}
+		fmt.Fprintf(&b, "%6d  %12.2f  %7.1f%%\n", level, t.ToSeconds()/3600, pct)
+	}
+	return b.String()
+}
+
+// FormatFig2 renders the Figure 2 data: how many jobs used each number
+// of compute nodes, plus the node-time share of each size.
+func (r *Report) FormatFig2() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: compute nodes used per job\n")
+	fmt.Fprintf(&b, "%6s  %8s  %9s  %14s\n", "nodes", "jobs", "pct jobs", "node-time pct")
+	var totalNT float64
+	for _, nt := range r.NodeTime {
+		totalNT += nt
+	}
+	for _, k := range r.NodesPerJob.Keys() {
+		ntPct := 0.0
+		if totalNT > 0 {
+			ntPct = 100 * r.NodeTime[int(k)] / totalNT
+		}
+		fmt.Fprintf(&b, "%6d  %8d  %8.1f%%  %13.1f%%\n",
+			k, r.NodesPerJob.Count(k), 100*r.NodesPerJob.Fraction(k), ntPct)
+	}
+	return b.String()
+}
+
+// FormatTable1 renders Table 1: files opened per traced job.
+func (r *Report) FormatTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: number of files opened by traced jobs\n")
+	fmt.Fprintf(&b, "%8s  %8s\n", "files", "jobs")
+	buckets := r.FilesPerJob.Bucketed([]int64{1, 2, 3, 4})
+	labels := []string{"1", "2", "3", "4", "5+"}
+	for i, lbl := range labels {
+		fmt.Fprintf(&b, "%8s  %8d\n", lbl, buckets[i])
+	}
+	return b.String()
+}
+
+// FormatFig3 renders the Figure 3 CDF of file sizes at close at the
+// paper's log-scale ticks (10 B to 10 MB).
+func (r *Report) FormatFig3() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: CDF of file size at close\n")
+	fmt.Fprintf(&b, "%12s  %8s\n", "bytes", "CDF")
+	for _, x := range stats.LogTicks(1, 7) {
+		fmt.Fprintf(&b, "%12.0f  %8.4f\n", x, r.FileSizeCDF.At(x))
+	}
+	return b.String()
+}
+
+// FormatFig4 renders Figure 4: CDFs of the number of reads and of the
+// data transferred, by request size, with the write figures the paper
+// quotes in prose.
+func (r *Report) FormatFig4() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: request sizes\n")
+	fmt.Fprintf(&b, "%12s  %10s  %10s  %10s  %10s\n",
+		"req bytes", "reads", "read data", "writes", "write data")
+	for _, x := range stats.LogTicks(1, 6) {
+		fmt.Fprintf(&b, "%12.0f  %10.4f  %10.4f  %10.4f  %10.4f\n", x,
+			r.ReadCountBySize.At(x), r.ReadBytesBySize.At(x),
+			r.WriteCountBySize.At(x), r.WriteBytesBySize.At(x))
+	}
+	fmt.Fprintf(&b, "reads  < %d B: %5.1f%% of requests moving %4.1f%% of data\n",
+		SmallRequestBytes, 100*r.SmallReadFrac, 100*r.SmallReadData)
+	fmt.Fprintf(&b, "writes < %d B: %5.1f%% of requests moving %4.1f%% of data\n",
+		SmallRequestBytes, 100*r.SmallWriteFrac, 100*r.SmallWriteData)
+	return b.String()
+}
+
+func formatPctCDFs(title string, cdfs map[FileClass]*stats.CDF) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%6s", "%")
+	classes := []FileClass{ReadOnly, WriteOnly, ReadWrite}
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  %11s", c)
+	}
+	b.WriteString("\n")
+	for pct := 0; pct <= 100; pct += 10 {
+		fmt.Fprintf(&b, "%5d%%", pct)
+		for _, c := range classes {
+			fmt.Fprintf(&b, "  %11.4f", cdfs[c].At(float64(pct)))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatFig5 renders the per-file percent-sequential CDFs.
+func (r *Report) FormatFig5() string {
+	return formatPctCDFs("Figure 5: CDF of percent-sequential access per file (per-node basis)", r.SeqPct)
+}
+
+// FormatFig6 renders the per-file percent-consecutive CDFs.
+func (r *Report) FormatFig6() string {
+	return formatPctCDFs("Figure 6: CDF of percent-consecutive access per file (per-node basis)", r.ConsPct)
+}
+
+// FormatTable2 renders Table 2: distinct interval sizes per file.
+func (r *Report) FormatTable2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: number of different interval sizes per file\n")
+	fmt.Fprintf(&b, "%10s  %8s  %8s\n", "intervals", "files", "percent")
+	buckets := r.IntervalHist.Bucketed([]int64{0, 1, 2, 3})
+	labels := []string{"0", "1", "2", "3", "4+"}
+	total := r.IntervalHist.Total()
+	for i, lbl := range labels {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(buckets[i]) / float64(total)
+		}
+		fmt.Fprintf(&b, "%10s  %8d  %7.1f%%\n", lbl, buckets[i], pct)
+	}
+	fmt.Fprintf(&b, "1-interval files that are purely consecutive: %.1f%%\n",
+		100*r.OneIntervalZeroFrac)
+	return b.String()
+}
+
+// FormatTable3 renders Table 3: distinct request sizes per file.
+func (r *Report) FormatTable3() string {
+	var b strings.Builder
+	b.WriteString("Table 3: number of different request sizes per file\n")
+	fmt.Fprintf(&b, "%10s  %8s  %8s\n", "sizes", "files", "percent")
+	buckets := r.ReqSizeHist.Bucketed([]int64{0, 1, 2, 3})
+	labels := []string{"0", "1", "2", "3", "4+"}
+	total := r.ReqSizeHist.Total()
+	for i, lbl := range labels {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(buckets[i]) / float64(total)
+		}
+		fmt.Fprintf(&b, "%10s  %8d  %7.1f%%\n", lbl, buckets[i], pct)
+	}
+	return b.String()
+}
+
+// FormatFig7 renders the Figure 7 sharing CDFs.
+func (r *Report) FormatFig7() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: sharing between nodes in concurrently-opened files\n")
+	fmt.Fprintf(&b, "%9s  %11s  %11s  %11s  %11s\n",
+		"% shared", "RO bytes", "RO blocks", "WO bytes", "WO blocks")
+	for pct := 0; pct <= 100; pct += 10 {
+		fmt.Fprintf(&b, "%8d%%  %11.4f  %11.4f  %11.4f  %11.4f\n", pct,
+			r.ByteSharing[ReadOnly].At(float64(pct)),
+			r.BlockSharing[ReadOnly].At(float64(pct)),
+			r.ByteSharing[WriteOnly].At(float64(pct)),
+			r.BlockSharing[WriteOnly].At(float64(pct)))
+	}
+	return b.String()
+}
+
+// FormatPopulations renders the Section 4.2 prose numbers.
+func (r *Report) FormatPopulations() string {
+	var b strings.Builder
+	b.WriteString("File populations (Section 4.2)\n")
+	fmt.Fprintf(&b, "  files opened:     %d (opens: %d)\n", r.FilesOpened, r.TotalOpens)
+	for _, c := range []FileClass{WriteOnly, ReadOnly, ReadWrite, Untouched} {
+		n := r.FilesByClass[c]
+		pct := 0.0
+		if r.FilesOpened > 0 {
+			pct = 100 * float64(n) / float64(r.FilesOpened)
+		}
+		fmt.Fprintf(&b, "  %-12s %8d  (%.1f%%)\n", c.String()+":", n, pct)
+	}
+	fmt.Fprintf(&b, "  temporary-file opens: %.2f%%\n", 100*r.TempOpenFraction)
+	fmt.Fprintf(&b, "  mean bytes read  per read-only  file: %.0f\n", r.MeanBytesRead)
+	fmt.Fprintf(&b, "  mean bytes written per write-only file: %.0f\n", r.MeanBytesWritten)
+	return b.String()
+}
+
+// FormatModes renders the Section 4.6 I/O-mode usage.
+func (r *Report) FormatModes() string {
+	var b strings.Builder
+	b.WriteString("I/O mode usage (Section 4.6)\n")
+	var total int64
+	for _, n := range r.ModeOpens {
+		total += n
+	}
+	for m, n := range r.ModeOpens {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(n) / float64(total)
+		}
+		fmt.Fprintf(&b, "  mode %d: %10d opens  (%.2f%%)\n", m, n, pct)
+	}
+	return b.String()
+}
+
+// FormatJobs renders the job-mix summary.
+func (r *Report) FormatJobs() string {
+	var b strings.Builder
+	b.WriteString("Job mix (Section 4.1)\n")
+	fmt.Fprintf(&b, "  traced period:   %.1f hours\n", r.Horizon.ToSeconds()/3600)
+	fmt.Fprintf(&b, "  total jobs:      %d\n", r.TotalJobs)
+	fmt.Fprintf(&b, "  single-node:     %d\n", r.SingleNodeJobs)
+	fmt.Fprintf(&b, "  multi-node:      %d\n", r.MultiNodeJobs)
+	fmt.Fprintf(&b, "  traced (lower bound): %d\n", r.TracedJobs)
+	return b.String()
+}
+
+// Format renders the full report in the paper's section order.
+func (r *Report) Format() string {
+	sections := []string{
+		r.FormatJobs(),
+		r.FormatFig1(),
+		r.FormatFig2(),
+		r.FormatPopulations(),
+		r.FormatTable1(),
+		r.FormatFig3(),
+		r.FormatFig4(),
+		r.FormatFig5(),
+		r.FormatFig6(),
+		r.FormatTable2(),
+		r.FormatTable3(),
+		r.FormatModes(),
+		r.FormatFig7(),
+	}
+	return strings.Join(sections, "\n")
+}
+
+// IdlePct returns the percent of traced time with zero jobs running.
+func (r *Report) IdlePct() float64 {
+	if r.Horizon == 0 {
+		return 0
+	}
+	return 100 * float64(r.JobConcurrency[0]) / float64(r.Horizon)
+}
+
+// MultiJobPct returns the percent of traced time with more than one
+// job running.
+func (r *Report) MultiJobPct() float64 {
+	if r.Horizon == 0 {
+		return 0
+	}
+	var t sim.Time
+	levels := make([]int, 0, len(r.JobConcurrency))
+	for l := range r.JobConcurrency {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	for _, l := range levels {
+		if l > 1 {
+			t += r.JobConcurrency[l]
+		}
+	}
+	return 100 * float64(t) / float64(r.Horizon)
+}

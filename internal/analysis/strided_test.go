@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Strided requests (the paper's Section 5 proposal, implemented as an
+// extension) must be analyzed as single large requests with full
+// pattern coverage.
+
+func TestStridedCountsAsOneRequest(t *testing.T) {
+	b := &evb{}
+	b.open(1, 0, 1, 0)
+	b.add(trace.Event{
+		Type: trace.EvReadStrided, Job: 1, Node: 0, File: 1,
+		Offset: 0, Size: 100, Stride: 1000, Count: 10,
+	})
+	b.close(1, 0, 1, 10000)
+	r := Analyze(header(), b.events, 0)
+	// One read request of the pattern's total payload.
+	if r.ReadCountBySize.Len() != 1 {
+		t.Fatalf("read requests = %d", r.ReadCountBySize.Len())
+	}
+	if got := r.ReadCountBySize.Max(); got != 1000 {
+		t.Fatalf("request size = %v, want 1000 (10 x 100)", got)
+	}
+	// The file is read-only with one effective request and no
+	// intervals of its own.
+	if r.FilesByClass[ReadOnly] != 1 {
+		t.Fatal("classification wrong")
+	}
+	if r.IntervalHist.Count(0) != 1 {
+		t.Fatalf("interval count = %v", r.IntervalHist)
+	}
+}
+
+func TestStridedSharingCoverage(t *testing.T) {
+	// Two nodes read complementary strided patterns concurrently: the
+	// bytes are disjoint, but every block is shared.
+	b := &evb{}
+	b.open(1, 0, 1, 0).open(1, 1, 1, 0)
+	b.add(trace.Event{
+		Type: trace.EvReadStrided, Job: 1, Node: 0, File: 1,
+		Offset: 0, Size: 1024, Stride: 2048, Count: 16,
+	})
+	b.add(trace.Event{
+		Type: trace.EvReadStrided, Job: 1, Node: 1, File: 1,
+		Offset: 1024, Size: 1024, Stride: 2048, Count: 16,
+	})
+	b.close(1, 0, 1, 32768).close(1, 1, 1, 32768)
+	r := Analyze(header(), b.events, 0)
+	bytesCDF := r.ByteSharing[ReadOnly]
+	if bytesCDF.Len() != 1 {
+		t.Fatalf("sharing samples = %d", bytesCDF.Len())
+	}
+	if bytesCDF.At(0) != 1 {
+		t.Fatal("disjoint strided patterns should share no bytes")
+	}
+	blocksCDF := r.BlockSharing[ReadOnly]
+	if blocksCDF.At(99) != 0 {
+		t.Fatal("complementary strided patterns should share every block")
+	}
+}
+
+func TestStridedWriteAccounting(t *testing.T) {
+	b := &evb{}
+	b.open(1, 0, 1, 0)
+	b.add(trace.Event{
+		Type: trace.EvWriteStrided, Job: 1, Node: 0, File: 1,
+		Offset: 0, Size: 512, Stride: 4096, Count: 8,
+	})
+	b.close(1, 0, 1, 29184)
+	r := Analyze(header(), b.events, 0)
+	if r.FilesByClass[WriteOnly] != 1 {
+		t.Fatal("strided write should make the file write-only")
+	}
+	if r.MeanBytesWritten != 512*8 {
+		t.Fatalf("bytes written = %v", r.MeanBytesWritten)
+	}
+}

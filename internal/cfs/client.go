@@ -1,0 +1,419 @@
+package cfs
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// reqHeaderBytes approximates the size of a CFS request message
+// exclusive of data payload.
+const reqHeaderBytes = 64
+
+// Client is the CFS library as linked into one process (one compute
+// node) of one job. Every call is traced through the client's Tracer,
+// mirroring the paper's instrumented library.
+type Client struct {
+	fs     *FileSystem
+	job    uint32
+	node   int
+	tracer Tracer
+}
+
+// NewClient returns the CFS client for a (job, node) pair. The tracer
+// may be NopTracer{} to model an uninstrumented program.
+func NewClient(fs *FileSystem, job uint32, node int, tracer Tracer) *Client {
+	if tracer == nil {
+		tracer = NopTracer{}
+	}
+	return &Client{fs: fs, job: job, node: node, tracer: tracer}
+}
+
+// Handle is an open file descriptor on one node.
+type Handle struct {
+	c       *Client
+	f       *file
+	flags   int
+	mode    IOMode
+	pointer int64      // private pointer (mode 0)
+	group   *openGroup // shared state (modes 1-3)
+	closed  bool
+}
+
+// metadataDelay models a small metadata round trip (open, close,
+// delete) to I/O node 0.
+func (c *Client) metadataDelay(p *sim.Proc) {
+	d := c.fs.tp.ToIONode(c.node, 0, reqHeaderBytes) +
+		c.fs.tp.FromIONode(0, c.node, reqHeaderBytes)
+	p.Sleep(d)
+}
+
+// Open opens (or with OCreate, creates) a file in the given I/O mode.
+func (c *Client) Open(p *sim.Proc, name string, flags int, mode IOMode) (*Handle, error) {
+	if !mode.Valid() {
+		return nil, ErrBadMode
+	}
+	if flags&ORdWr == 0 {
+		return nil, ErrBadAccess
+	}
+	c.metadataDelay(p)
+	f, ok := c.fs.lookup(name)
+	created := false
+	if !ok {
+		if flags&OCreate == 0 {
+			return nil, ErrNotFound
+		}
+		f = c.fs.create(name, c.job)
+		created = true
+	}
+	f.opens++
+	c.fs.opens++
+	c.fs.modeCounts[mode]++
+	h := &Handle{c: c, f: f, flags: flags, mode: mode}
+	if mode != Mode0 {
+		g := f.groups[c.job]
+		if g == nil || g.mode != mode {
+			g = &openGroup{mode: mode}
+			f.groups[c.job] = g
+		}
+		g.members = append(g.members, c.node)
+		sort.Ints(g.members)
+		h.group = g
+	}
+	ev := trace.Event{
+		Type: trace.EvOpen, Job: c.job, File: f.id, Mode: uint8(mode),
+	}
+	if flags&ORdOnly != 0 {
+		ev.Flags |= trace.FlagRead
+	}
+	if flags&OWrOnly != 0 {
+		ev.Flags |= trace.FlagWrite
+	}
+	if created {
+		ev.Flags |= trace.FlagCreate
+	}
+	c.tracer.Record(ev)
+	return h, nil
+}
+
+// Mode returns the handle's I/O mode.
+func (h *Handle) Mode() IOMode { return h.mode }
+
+// FileID returns the global identity of the open file.
+func (h *Handle) FileID() uint64 { return h.f.id }
+
+// Size returns the file's current size.
+func (h *Handle) Size() int64 { return h.f.size }
+
+// Pointer returns the handle's current file pointer (the shared
+// pointer for modes 1-3).
+func (h *Handle) Pointer() int64 {
+	if h.group != nil {
+		return h.group.pointer
+	}
+	return h.pointer
+}
+
+// Seek sets the file pointer. For shared-pointer modes it moves the
+// shared pointer, as CFS did.
+func (h *Handle) Seek(p *sim.Proc, off int64) error {
+	if h.closed {
+		return ErrClosed
+	}
+	if off < 0 {
+		return ErrBadRequest
+	}
+	if h.group != nil {
+		h.group.pointer = off
+	} else {
+		h.pointer = off
+	}
+	h.c.tracer.Record(trace.Event{
+		Type: trace.EvSeek, Job: h.c.job, File: h.f.id, Offset: off, Mode: uint8(h.mode),
+	})
+	return nil
+}
+
+// Read transfers up to size bytes at the file pointer, advancing it.
+// It returns the number of bytes read (short at end of file).
+func (h *Handle) Read(p *sim.Proc, size int64) (int64, error) {
+	off, err := h.claimRange(p, size)
+	if err != nil {
+		return 0, err
+	}
+	return h.readAt(p, off, size)
+}
+
+// ReadAt transfers up to size bytes at the given offset without using
+// the file pointer (a seek+read in one call; only meaningful for
+// mode 0, where each process owns its pointer).
+func (h *Handle) ReadAt(p *sim.Proc, off, size int64) (int64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if h.mode != Mode0 {
+		return 0, ErrBadMode
+	}
+	if off < 0 || size < 0 {
+		return 0, ErrBadRequest
+	}
+	h.pointer = off + size
+	return h.readAt(p, off, size)
+}
+
+// Write transfers size bytes at the file pointer, advancing it and
+// extending the file as needed.
+func (h *Handle) Write(p *sim.Proc, size int64) (int64, error) {
+	off, err := h.claimRange(p, size)
+	if err != nil {
+		return 0, err
+	}
+	return h.writeAt(p, off, size)
+}
+
+// WriteAt transfers size bytes at the given offset (mode 0 only).
+func (h *Handle) WriteAt(p *sim.Proc, off, size int64) (int64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if h.mode != Mode0 {
+		return 0, ErrBadMode
+	}
+	if off < 0 || size < 0 {
+		return 0, ErrBadRequest
+	}
+	h.pointer = off + size
+	return h.writeAt(p, off, size)
+}
+
+// claimRange resolves the starting offset for a pointer-based access,
+// enforcing the mode's coordination rules, and advances the pointer.
+func (h *Handle) claimRange(p *sim.Proc, size int64) (int64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if size < 0 {
+		return 0, ErrBadRequest
+	}
+	switch h.mode {
+	case Mode0:
+		off := h.pointer
+		h.pointer += size
+		return off, nil
+	case Mode1:
+		off := h.group.pointer
+		h.group.pointer += size
+		return off, nil
+	case Mode2, Mode3:
+		g := h.group
+		if h.mode == Mode3 {
+			if g.reqSize == 0 {
+				g.reqSize = size
+			} else if g.reqSize != size {
+				return 0, ErrSizeMismatch
+			}
+		}
+		for g.members[g.turn] != h.c.node {
+			g.waiters = append(g.waiters, p)
+			p.Suspend()
+		}
+		off := g.pointer
+		g.pointer += size
+		g.turn = (g.turn + 1) % len(g.members)
+		g.wakeAll()
+		return off, nil
+	}
+	return 0, ErrBadMode
+}
+
+// readAt performs the traced, timed read.
+func (h *Handle) readAt(p *sim.Proc, off, size int64) (int64, error) {
+	if h.flags&ORdOnly == 0 {
+		return 0, ErrBadAccess
+	}
+	if h.f.deleted {
+		return 0, ErrDeleted
+	}
+	n := size
+	if off >= h.f.size {
+		n = 0
+	} else if off+n > h.f.size {
+		n = h.f.size - off
+	}
+	h.c.tracer.Record(trace.Event{
+		Type: trace.EvRead, Job: h.c.job, File: h.f.id,
+		Offset: off, Size: n, Mode: uint8(h.mode),
+	})
+	if n == 0 {
+		return 0, nil
+	}
+	h.transfer(p, off, n, false)
+	return n, nil
+}
+
+// writeAt performs the traced, timed write.
+func (h *Handle) writeAt(p *sim.Proc, off, size int64) (int64, error) {
+	if h.flags&OWrOnly == 0 {
+		return 0, ErrBadAccess
+	}
+	if h.f.deleted {
+		return 0, ErrDeleted
+	}
+	h.c.tracer.Record(trace.Event{
+		Type: trace.EvWrite, Job: h.c.job, File: h.f.id,
+		Offset: off, Size: size, Mode: uint8(h.mode),
+	})
+	if size == 0 {
+		return 0, nil
+	}
+	if end := off + size; end > h.f.size {
+		h.f.size = end
+	}
+	h.transfer(p, off, size, true)
+	return size, nil
+}
+
+// transfer moves [off, off+n) between the compute node and the I/O
+// nodes: the byte range is split into 4 KB file blocks, blocks are
+// grouped by owning I/O node (round-robin striping), one request
+// message goes to each involved I/O node, and the caller blocks until
+// the last response arrives.
+func (h *Handle) transfer(p *sim.Proc, off, n int64, isWrite bool) {
+	fs := h.c.fs
+	bs := int64(fs.cfg.BlockBytes)
+	first := off / bs
+	last := (off + n - 1) / bs
+
+	batches := make(map[int][]blockRequest)
+	batchBytes := make(map[int]int64)
+	for b := first; b <= last; b++ {
+		io := fs.ioNodeFor(b)
+		db, allocated := h.f.blocks[b]
+		if isWrite && !allocated {
+			newBlock, err := io.allocBlock()
+			if err != nil {
+				// Volume exhaustion: model the write as failing to
+				// reach disk but still costing the request. The
+				// 7.6 GB study volume never fills in practice.
+				continue
+			}
+			h.f.blocks[b] = newBlock
+			db = newBlock
+			allocated = true
+		}
+		if !allocated {
+			db = -1
+		}
+		// Bytes of this request that land in block b.
+		bStart, bEnd := b*bs, (b+1)*bs
+		s, e := max64(off, bStart), min64(off+n, bEnd)
+		batchBytes[io.id] += e - s
+		req := blockRequest{
+			file: h.f.id, fileBlock: b, diskBlock: db, isWrite: isWrite,
+			nextFileBlock: -1, nextDiskBlock: -1,
+		}
+		if !isWrite && fs.cfg.IONode.Prefetch {
+			// The next block on the same I/O node's stripe.
+			nb := b + int64(fs.cfg.IONodes)
+			if ndb, ok := h.f.blocks[nb]; ok {
+				req.nextFileBlock, req.nextDiskBlock = nb, ndb
+			}
+		}
+		batches[io.id] = append(batches[io.id], req)
+	}
+	if len(batches) == 0 {
+		return
+	}
+
+	// Deterministic iteration order over I/O nodes.
+	ids := make([]int, 0, len(batches))
+	for id := range batches {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var wg sim.WaitGroup
+	wg.Add(len(ids))
+	for _, id := range ids {
+		io := fs.ionodes[id]
+		batch := batches[id]
+		payload := batchBytes[id]
+		reqBytes := reqHeaderBytes
+		if isWrite {
+			reqBytes += int(payload)
+		}
+		respBytes := reqHeaderBytes
+		if !isWrite {
+			respBytes += int(payload)
+		}
+		arrival := p.Now() + fs.tp.ToIONode(h.c.node, id, reqBytes)
+		fs.k.At(arrival, func() {
+			done := io.serve(arrival, batch)
+			fs.k.At(done+fs.tp.FromIONode(id, h.c.node, respBytes), func() {
+				wg.Done()
+			})
+		})
+	}
+	wg.Wait(p)
+}
+
+// Close releases the handle. The file's size is recorded in the trace,
+// which is where the paper's "file size at close" distribution comes
+// from.
+func (h *Handle) Close(p *sim.Proc) error {
+	if h.closed {
+		return ErrClosed
+	}
+	h.closed = true
+	h.c.metadataDelay(p)
+	h.f.opens--
+	if h.group != nil {
+		for i, m := range h.group.members {
+			if m == h.c.node {
+				h.group.members = append(h.group.members[:i], h.group.members[i+1:]...)
+				break
+			}
+		}
+		if len(h.group.members) > 0 {
+			h.group.turn %= len(h.group.members)
+			h.group.wakeAll()
+		} else {
+			delete(h.f.groups, h.c.job)
+		}
+	}
+	h.c.tracer.Record(trace.Event{
+		Type: trace.EvClose, Job: h.c.job, File: h.f.id, Size: h.f.size, Mode: uint8(h.mode),
+	})
+	return nil
+}
+
+// Delete unlinks a file by name. Open handles keep working against
+// the unlinked file in Unix fashion only until they next touch data,
+// when they observe ErrDeleted; CFS behaved similarly.
+func (c *Client) Delete(p *sim.Proc, name string) error {
+	c.metadataDelay(p)
+	f, ok := c.fs.lookup(name)
+	if !ok {
+		return ErrNotFound
+	}
+	c.fs.removeFile(f)
+	c.tracer.Record(trace.Event{
+		Type: trace.EvDelete, Job: c.job, File: f.id,
+	})
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

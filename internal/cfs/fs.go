@@ -1,0 +1,225 @@
+package cfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Transport models the interconnect between compute nodes and I/O
+// nodes. The machine package implements it over the hypercube; tests
+// use a constant-latency stub.
+type Transport interface {
+	// ToIONode returns the latency of a request message of the given
+	// size from a compute node to an I/O node.
+	ToIONode(computeNode, ioNode, bytes int) sim.Time
+	// FromIONode returns the latency of the response back.
+	FromIONode(ioNode, computeNode, bytes int) sim.Time
+}
+
+// Tracer receives a CHARISMA event record for every CFS call. The
+// machine wires it to a per-node trace buffer; untraced jobs use
+// NopTracer, reproducing the paper's partially-instrumented workload.
+type Tracer interface {
+	Record(ev trace.Event)
+}
+
+// NopTracer discards all events.
+type NopTracer struct{}
+
+// Record implements Tracer.
+func (NopTracer) Record(trace.Event) {}
+
+// Config sizes the file system.
+type Config struct {
+	BlockBytes int // striping unit, 4096 on CFS
+	IONodes    int
+	IONode     IONodeConfig
+}
+
+// DefaultConfig returns the NAS configuration: 10 I/O nodes, 4 KB
+// striping.
+func DefaultConfig() Config {
+	return Config{BlockBytes: 4096, IONodes: 10, IONode: DefaultIONodeConfig()}
+}
+
+// file is the metadata for one CFS file.
+type file struct {
+	id      uint64
+	name    string
+	size    int64
+	deleted bool
+	opens   int // live handles
+
+	// blocks maps file-block index to physical disk block; file block
+	// b lives on I/O node (b mod IONodes). Unwritten blocks are absent.
+	blocks map[int64]int64
+
+	// groups holds shared-pointer state per (job, mode>0) open group.
+	groups map[uint32]*openGroup
+
+	createdByJob uint32
+}
+
+// openGroup is the shared file pointer state for modes 1-3.
+type openGroup struct {
+	mode    IOMode
+	pointer int64
+	members []int // node ids, sorted; round-robin order for modes 2/3
+	turn    int   // index into members (modes 2/3)
+	reqSize int64 // fixed request size (mode 3), 0 until first access
+	waiters []*sim.Proc
+}
+
+func (g *openGroup) wakeAll() {
+	ws := g.waiters
+	g.waiters = nil
+	for _, w := range ws {
+		w.Wake()
+	}
+}
+
+// FileSystem is the CFS volume: metadata plus the I/O nodes.
+type FileSystem struct {
+	k       *sim.Kernel
+	cfg     Config
+	tp      Transport
+	ionodes []*IONode
+
+	byName map[string]*file
+	byID   map[uint64]*file
+	nextID uint64
+
+	opens      int64
+	modeCounts [4]int64
+}
+
+// New returns an empty file system.
+func New(k *sim.Kernel, cfg Config, tp Transport) *FileSystem {
+	if cfg.BlockBytes <= 0 || cfg.IONodes <= 0 {
+		panic("cfs: invalid configuration")
+	}
+	fs := &FileSystem{
+		k:      k,
+		cfg:    cfg,
+		tp:     tp,
+		byName: make(map[string]*file),
+		byID:   make(map[uint64]*file),
+	}
+	for i := 0; i < cfg.IONodes; i++ {
+		fs.ionodes = append(fs.ionodes, NewIONode(k, i, cfg.IONode))
+	}
+	return fs
+}
+
+// Config returns the file-system configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// IONode returns I/O node i, for instrumentation.
+func (fs *FileSystem) IONode(i int) *IONode { return fs.ionodes[i] }
+
+// Opens reports the total number of successful opens.
+func (fs *FileSystem) Opens() int64 { return fs.opens }
+
+// ModeCount reports how many opens used the given I/O mode.
+func (fs *FileSystem) ModeCount(m IOMode) int64 { return fs.modeCounts[m] }
+
+// TotalDiskOps reports read+write operations summed over all disks.
+func (fs *FileSystem) TotalDiskOps() int64 {
+	var n int64
+	for _, io := range fs.ionodes {
+		n += io.Disk().Reads() + io.Disk().Writes()
+	}
+	return n
+}
+
+// ioNodeFor returns the I/O node storing the given file block, per
+// CFS's round-robin striping.
+func (fs *FileSystem) ioNodeFor(fileBlock int64) *IONode {
+	return fs.ionodes[int(fileBlock%int64(fs.cfg.IONodes))]
+}
+
+// lookup returns the live file with the given name.
+func (fs *FileSystem) lookup(name string) (*file, bool) {
+	f, ok := fs.byName[name]
+	return f, ok
+}
+
+// create registers a new file.
+func (fs *FileSystem) create(name string, job uint32) *file {
+	fs.nextID++
+	f := &file{
+		id:           fs.nextID,
+		name:         name,
+		blocks:       make(map[int64]int64),
+		groups:       make(map[uint32]*openGroup),
+		createdByJob: job,
+	}
+	fs.byName[name] = f
+	fs.byID[f.id] = f
+	return f
+}
+
+// Preload creates a file of the given size with all blocks allocated,
+// modeling input data sets that existed before tracing started. It is
+// not traced and consumes no simulated time.
+func (fs *FileSystem) Preload(name string, size int64) (uint64, error) {
+	if _, exists := fs.byName[name]; exists {
+		return 0, ErrExists
+	}
+	if size < 0 {
+		return 0, ErrBadRequest
+	}
+	f := fs.create(name, 0)
+	f.size = size
+	nBlocks := (size + int64(fs.cfg.BlockBytes) - 1) / int64(fs.cfg.BlockBytes)
+	for b := int64(0); b < nBlocks; b++ {
+		db, err := fs.ioNodeFor(b).allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		f.blocks[b] = db
+	}
+	return f.id, nil
+}
+
+// Exists reports whether a live file has the given name.
+func (fs *FileSystem) Exists(name string) bool {
+	_, ok := fs.byName[name]
+	return ok
+}
+
+// Size returns the current size of the named file.
+func (fs *FileSystem) Size(name string) (int64, error) {
+	f, ok := fs.lookup(name)
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return f.size, nil
+}
+
+// removeFile unlinks the file from the namespace, invalidates its
+// cached blocks, and returns its disk blocks to the allocators.
+func (fs *FileSystem) removeFile(f *file) {
+	f.deleted = true
+	delete(fs.byName, f.name)
+	// Iterate file blocks in sorted order so the free lists (and hence
+	// future allocations and disk layout) stay deterministic.
+	fbs := make([]int64, 0, len(f.blocks))
+	for fb := range f.blocks {
+		fbs = append(fbs, fb)
+	}
+	sort.Slice(fbs, func(i, j int) bool { return fbs[i] < fbs[j] })
+	for _, fb := range fbs {
+		io := fs.ioNodeFor(fb)
+		io.freeBlock(f.blocks[fb])
+		io.invalidate(f.id, []int64{fb})
+	}
+}
+
+func (fs *FileSystem) String() string {
+	return fmt.Sprintf("cfs: %d I/O nodes, %d B blocks, %d files",
+		fs.cfg.IONodes, fs.cfg.BlockBytes, len(fs.byID))
+}

@@ -1,0 +1,67 @@
+// Package cfs reimplements Intel's Concurrent File System (CFS) as it
+// ran on the iPSC/860: a Unix-like file interface extended with four
+// I/O modes for coordinating parallel access, files striped round-robin
+// across all I/O-node disks in 4 KB blocks, requests sent from compute
+// nodes directly to the responsible I/O node, and a buffer cache only
+// at the I/O nodes.
+//
+// The implementation simulates metadata and timing, not data contents:
+// the CHARISMA study characterizes request streams, so what matters is
+// which bytes each node touches and when, never the bytes' values.
+package cfs
+
+import "fmt"
+
+// IOMode is one of CFS's four file-access coordination modes
+// (Section 2.4 of the paper).
+type IOMode uint8
+
+const (
+	// Mode0 gives each process its own file pointer.
+	Mode0 IOMode = iota
+	// Mode1 shares a single file pointer among all processes,
+	// first-come first-served.
+	Mode1
+	// Mode2 shares a pointer and enforces round-robin ordering of
+	// accesses across the nodes of the job.
+	Mode2
+	// Mode3 is Mode2 with the restriction that all access sizes be
+	// identical.
+	Mode3
+)
+
+// String names the mode the way the paper does.
+func (m IOMode) String() string {
+	if m > Mode3 {
+		return fmt.Sprintf("IOMode(%d)", uint8(m))
+	}
+	return fmt.Sprintf("mode %d", uint8(m))
+}
+
+// Valid reports whether m is one of the four CFS modes.
+func (m IOMode) Valid() bool { return m <= Mode3 }
+
+// Open flags.
+const (
+	ORdOnly = 1 << 0
+	OWrOnly = 1 << 1
+	ORdWr   = ORdOnly | OWrOnly
+	OCreate = 1 << 2
+)
+
+// Error values mirror the failures user programs saw from CFS.
+type Error string
+
+func (e Error) Error() string { return "cfs: " + string(e) }
+
+const (
+	ErrNotFound     Error = "file not found"
+	ErrExists       Error = "file already exists"
+	ErrDeleted      Error = "file was deleted"
+	ErrClosed       Error = "handle is closed"
+	ErrBadAccess    Error = "operation not permitted by open flags"
+	ErrBadMode      Error = "invalid I/O mode"
+	ErrSizeMismatch Error = "mode 3 requires identical request sizes"
+	ErrBadRequest   Error = "invalid offset or size"
+	ErrNoSpace      Error = "file system full"
+)

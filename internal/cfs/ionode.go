@@ -1,0 +1,179 @@
+package cfs
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// IONode is one dedicated I/O node: an i386 processor with 4 MB of
+// memory, a buffer cache, and a single SCSI disk. The disk is a serial
+// resource; requests queue in arrival order. Service is modeled with a
+// busy-until horizon rather than a process per request, which keeps
+// multi-million-request simulations cheap while preserving queueing
+// delay.
+type IONode struct {
+	id    int
+	k     *sim.Kernel
+	disk  *disk.Disk
+	cache cache.Cache
+
+	busyUntil sim.Time
+	nextFree  int64   // next never-allocated disk block
+	freeList  []int64 // blocks returned by deleted files
+
+	// overheadPerRequest models the i386's per-request software cost.
+	overheadPerRequest sim.Time
+	// cacheHitTime models a memory-speed block copy on a hit.
+	cacheHitTime sim.Time
+
+	prefetch bool
+
+	requests   int64
+	cacheHits  int64
+	prefetches int64
+}
+
+// IONodeConfig sizes an I/O node.
+type IONodeConfig struct {
+	Disk         disk.Config
+	CacheBuffers int      // buffer cache capacity in 4 KB blocks
+	Overhead     sim.Time // per-request software overhead
+	CacheHitTime sim.Time // service time for a cache hit
+	// Prefetch enables one-block readahead: on a read miss the node
+	// also fetches the file's next block on this node's stripe, the
+	// policy CFS shipped with (Pratt and French measured it helping
+	// sequential workloads).
+	Prefetch bool
+}
+
+// DefaultIONodeConfig returns the NAS configuration: a 760 MB disk and
+// a buffer cache using most of the node's 4 MB of memory (~768
+// four-KB buffers), 200 us request overhead, 100 us hit service.
+func DefaultIONodeConfig() IONodeConfig {
+	return IONodeConfig{
+		Disk:         disk.CDC760MB(),
+		CacheBuffers: 768,
+		Overhead:     200 * sim.Microsecond,
+		CacheHitTime: 100 * sim.Microsecond,
+	}
+}
+
+// NewIONode returns an I/O node with an empty disk and cold cache.
+func NewIONode(k *sim.Kernel, id int, cfg IONodeConfig) *IONode {
+	if cfg.CacheBuffers <= 0 {
+		panic(fmt.Sprintf("cfs: I/O node %d needs a positive cache size", id))
+	}
+	return &IONode{
+		id:                 id,
+		k:                  k,
+		disk:               disk.New(cfg.Disk),
+		cache:              cache.NewLRU(cfg.CacheBuffers),
+		overheadPerRequest: cfg.Overhead,
+		cacheHitTime:       cfg.CacheHitTime,
+		prefetch:           cfg.Prefetch,
+	}
+}
+
+// ID returns the I/O node's index.
+func (n *IONode) ID() int { return n.id }
+
+// Requests reports the number of block requests serviced.
+func (n *IONode) Requests() int64 { return n.requests }
+
+// CacheHits reports how many of them hit the buffer cache.
+func (n *IONode) CacheHits() int64 { return n.cacheHits }
+
+// Prefetches reports how many readahead blocks the node fetched.
+func (n *IONode) Prefetches() int64 { return n.prefetches }
+
+// Disk exposes the underlying drive for instrumentation.
+func (n *IONode) Disk() *disk.Disk { return n.disk }
+
+// allocBlock claims a free disk block (reusing reclaimed blocks
+// first), or reports exhaustion.
+func (n *IONode) allocBlock() (int64, error) {
+	if len(n.freeList) > 0 {
+		b := n.freeList[len(n.freeList)-1]
+		n.freeList = n.freeList[:len(n.freeList)-1]
+		return b, nil
+	}
+	if n.nextFree >= n.disk.Blocks() {
+		return 0, ErrNoSpace
+	}
+	b := n.nextFree
+	n.nextFree++
+	return b, nil
+}
+
+// freeBlock returns a disk block to the allocator.
+func (n *IONode) freeBlock(b int64) { n.freeList = append(n.freeList, b) }
+
+// blockRequest is one block-granularity operation at this I/O node.
+type blockRequest struct {
+	file      uint64
+	fileBlock int64 // block index within the file
+	diskBlock int64 // physical block, -1 for unallocated reads (zero fill)
+	isWrite   bool
+	// Readahead candidate: the file's next block on this node's
+	// stripe, or -1. Filled by the client only when prefetching is on.
+	nextFileBlock int64
+	nextDiskBlock int64
+}
+
+// serve processes a batch of block requests arriving at arrivalTime
+// and returns the time the response leaves the node. The batch is the
+// set of blocks one client operation needs from this node; CFS sent
+// one message per I/O node per operation.
+func (n *IONode) serve(arrival sim.Time, batch []blockRequest) sim.Time {
+	start := arrival
+	if n.busyUntil > start {
+		start = n.busyUntil // queue behind earlier requests
+	}
+	t := start + n.overheadPerRequest
+	var readahead sim.Time
+	for _, r := range batch {
+		n.requests++
+		id := cache.BlockID{File: r.file, Block: r.fileBlock}
+		if r.isWrite {
+			// Write-through: the block enters the cache and is
+			// written to disk.
+			n.cache.Access(id)
+			t += n.disk.ServiceTime(r.diskBlock, 1, true)
+			continue
+		}
+		if r.diskBlock < 0 {
+			// Read of a never-written block: zero fill, memory speed.
+			t += n.cacheHitTime
+			continue
+		}
+		if n.cache.Access(id) {
+			n.cacheHits++
+			t += n.cacheHitTime
+			continue
+		}
+		t += n.disk.ServiceTime(r.diskBlock, 1, false)
+		if n.prefetch && r.nextDiskBlock >= 0 {
+			next := cache.BlockID{File: r.file, Block: r.nextFileBlock}
+			if !n.cache.Contains(next) {
+				n.cache.Access(next)
+				// Readahead runs after the response leaves: it keeps
+				// the disk busy but is off the request's critical
+				// path, which is where its benefit comes from.
+				readahead += n.disk.ServiceTime(r.nextDiskBlock, 1, false)
+				n.prefetches++
+			}
+		}
+	}
+	n.busyUntil = t + readahead
+	return t
+}
+
+// invalidate drops a file's blocks from the cache (file deletion).
+func (n *IONode) invalidate(file uint64, fileBlocks []int64) {
+	for _, b := range fileBlocks {
+		n.cache.Invalidate(cache.BlockID{File: file, Block: b})
+	}
+}

@@ -1,0 +1,192 @@
+package cfs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestStridedReadBasics(t *testing.T) {
+	tr := &memTracer{}
+	k := sim.New()
+	fs := newTestFS(k)
+	fs.Preload("/m", 100000)
+	k.Spawn("r", func(p *sim.Proc) {
+		c := NewClient(fs, 1, 0, tr)
+		h, _ := c.Open(p, "/m", ORdOnly, Mode0)
+		// 10 records of 100 B, starts 1000 apart.
+		n, err := h.ReadStrided(p, 0, 100, 1000, 10)
+		if err != nil || n != 1000 {
+			t.Errorf("strided read: n=%d err=%v", n, err)
+		}
+		h.Close(p)
+	})
+	k.Run()
+	evs := tr.ofType(trace.EvReadStrided)
+	if len(evs) != 1 {
+		t.Fatalf("strided events = %d", len(evs))
+	}
+	ev := evs[0]
+	if ev.Size != 100 || ev.Stride != 1000 || ev.Count != 10 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Bytes() != 1000 {
+		t.Fatalf("bytes = %d", ev.Bytes())
+	}
+}
+
+func TestStridedReadClampsAtEOF(t *testing.T) {
+	k := sim.New()
+	fs := newTestFS(k)
+	fs.Preload("/m", 2500)
+	k.Spawn("r", func(p *sim.Proc) {
+		c := NewClient(fs, 1, 0, nil)
+		h, _ := c.Open(p, "/m", ORdOnly, Mode0)
+		// Records at 0, 1000, 2000, 3000(dropped): last kept record
+		// at 2000 is clipped to 500 bytes.
+		n, err := h.ReadStrided(p, 0, 600, 1000, 4)
+		if err != nil {
+			t.Error(err)
+		}
+		if n != 600+600+500 {
+			t.Errorf("n = %d", n)
+		}
+		// Entirely past EOF: zero bytes, no error.
+		n, err = h.ReadStrided(p, 10000, 100, 1000, 3)
+		if err != nil || n != 0 {
+			t.Errorf("past-EOF strided: n=%d err=%v", n, err)
+		}
+		h.Close(p)
+	})
+	k.Run()
+}
+
+func TestStridedWriteExtends(t *testing.T) {
+	k := sim.New()
+	fs := newTestFS(k)
+	k.Spawn("w", func(p *sim.Proc) {
+		c := NewClient(fs, 1, 0, nil)
+		h, _ := c.Open(p, "/out", OWrOnly|OCreate, Mode0)
+		n, err := h.WriteStrided(p, 0, 512, 4096, 8)
+		if err != nil || n != 512*8 {
+			t.Errorf("strided write: n=%d err=%v", n, err)
+		}
+		if h.Size() != 7*4096+512 {
+			t.Errorf("size = %d", h.Size())
+		}
+		h.Close(p)
+	})
+	k.Run()
+}
+
+func TestStridedValidation(t *testing.T) {
+	k := sim.New()
+	fs := newTestFS(k)
+	fs.Preload("/m", 100000)
+	k.Spawn("r", func(p *sim.Proc) {
+		c := NewClient(fs, 1, 0, nil)
+		h, _ := c.Open(p, "/m", ORdOnly, Mode0)
+		cases := []struct {
+			off, rec, stride int64
+			count            int
+		}{
+			{-1, 100, 1000, 1},
+			{0, 0, 1000, 1},
+			{0, 100, 50, 1}, // stride < record
+			{0, 100, 1000, 0},
+		}
+		for _, tc := range cases {
+			if _, err := h.ReadStrided(p, tc.off, tc.rec, tc.stride, tc.count); err != ErrBadRequest {
+				t.Errorf("(%d,%d,%d,%d): err = %v", tc.off, tc.rec, tc.stride, tc.count, err)
+			}
+		}
+		if _, err := h.WriteStrided(p, 0, 100, 1000, 1); err != ErrBadAccess {
+			t.Errorf("strided write on read-only handle: %v", err)
+		}
+		h.Close(p)
+		if _, err := h.ReadStrided(p, 0, 100, 1000, 1); err != ErrClosed {
+			t.Errorf("strided read on closed handle: %v", err)
+		}
+
+		sh, _ := c.Open(p, "/m", ORdOnly, Mode1)
+		if _, err := sh.ReadStrided(p, 0, 100, 1000, 1); err != ErrBadMode {
+			t.Errorf("strided read on mode 1: %v", err)
+		}
+		sh.Close(p)
+	})
+	k.Run()
+}
+
+func TestStridedFasterThanLoop(t *testing.T) {
+	// The headline claim of the paper's Section 5: expressing the
+	// pattern in one request beats issuing the records one by one.
+	pattern := func(strided bool) sim.Time {
+		k := sim.New()
+		fs := newTestFS(k)
+		fs.Preload("/m", 1<<20)
+		var elapsed sim.Time
+		k.Spawn("r", func(p *sim.Proc) {
+			c := NewClient(fs, 1, 0, nil)
+			h, _ := c.Open(p, "/m", ORdOnly, Mode0)
+			start := p.Now()
+			if strided {
+				h.ReadStrided(p, 0, 512, 4096, 256)
+			} else {
+				for i := int64(0); i < 256; i++ {
+					h.ReadAt(p, i*4096, 512)
+				}
+			}
+			elapsed = p.Now() - start
+			h.Close(p)
+		})
+		k.Run()
+		return elapsed
+	}
+	loop, strided := pattern(false), pattern(true)
+	if strided*3 >= loop {
+		t.Fatalf("strided %v should be much faster than looped %v", strided, loop)
+	}
+}
+
+func TestStridedReadSameDiskTraffic(t *testing.T) {
+	// Strided and looped access of the same pattern must touch the
+	// same disk blocks (correctness of batching).
+	run := func(strided bool) int64 {
+		k := sim.New()
+		fs := newTestFS(k)
+		fs.Preload("/m", 1<<20)
+		k.Spawn("r", func(p *sim.Proc) {
+			c := NewClient(fs, 1, 0, nil)
+			h, _ := c.Open(p, "/m", ORdOnly, Mode0)
+			if strided {
+				h.ReadStrided(p, 0, 512, 8192, 64)
+			} else {
+				for i := int64(0); i < 64; i++ {
+					h.ReadAt(p, i*8192, 512)
+				}
+			}
+			h.Close(p)
+		})
+		k.Run()
+		return fs.TotalDiskOps()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("disk ops differ: looped %d vs strided %d", a, b)
+	}
+}
+
+func TestStridedWriteReadBack(t *testing.T) {
+	k := sim.New()
+	fs := newTestFS(k)
+	k.Spawn("wr", func(p *sim.Proc) {
+		c := NewClient(fs, 1, 0, nil)
+		h, _ := c.Open(p, "/f", ORdWr|OCreate, Mode0)
+		h.WriteStrided(p, 0, 1024, 2048, 16)
+		if n, err := h.ReadAt(p, 0, h.Size()); err != nil || n != h.Size() {
+			t.Errorf("read back: n=%d err=%v", n, err)
+		}
+		h.Close(p)
+	})
+	k.Run()
+}

@@ -1,0 +1,155 @@
+// Package core is the top-level CHARISMA reproduction API: it wires
+// the simulated iPSC/860, the calibrated synthetic workload, the
+// tracing pipeline, the workload analysis, and the trace-driven cache
+// simulations into single-call studies.
+//
+// A Study reproduces the paper end to end:
+//
+//	result := core.RunStudy(core.DefaultConfig(42))
+//	fmt.Print(result.Report.Format())
+//
+// The cache experiments (Figures 8 and 9, and the combined
+// configuration of Section 4.8) run on the trace a study produces:
+//
+//	fig8 := core.RunFig8(result.Events, result.BlockBytes())
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/cachesim"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config selects the scale and seed of a study.
+type Config struct {
+	Seed uint64
+	// Scale shrinks the full 156-hour, 3016-job study; 1.0 reproduces
+	// the paper's population, 0.05 runs in well under a second.
+	Scale float64
+	// Workload overrides the calibrated mixture when non-nil.
+	Workload *workload.Params
+	// Machine overrides the NAS machine configuration when non-nil.
+	Machine *machine.Config
+}
+
+// DefaultConfig returns a study at the given scale (clamped to a
+// minimum of 0.01) with the calibrated workload.
+func DefaultConfig(seed uint64, scale float64) Config {
+	if scale <= 0.01 {
+		scale = 0.01
+	}
+	return Config{Seed: seed, Scale: scale}
+}
+
+// Result is everything a study produces.
+type Result struct {
+	Header  trace.Header
+	Trace   *trace.Trace  // raw blocks, as collected
+	Events  []trace.Event // postprocessed: drift-corrected, sorted
+	Report  *analysis.Report
+	Horizon sim.Time
+
+	// Instrumentation-side statistics (Section 3).
+	TraceRecords  int64 // events recorded at compute nodes
+	TraceMessages int64 // blocks shipped to the collector
+	DiskOps       int64 // physical disk operations during the study
+}
+
+// BlockBytes returns the file-system block size the trace was
+// collected under.
+func (r *Result) BlockBytes() int64 { return int64(r.Header.BlockBytes) }
+
+// RunStudy generates the workload, simulates the machine while tracing
+// all instrumented CFS activity, postprocesses the trace, and analyzes
+// it.
+func RunStudy(cfg Config) *Result {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	wp := workload.Default(cfg.Seed)
+	if cfg.Workload != nil {
+		wp = *cfg.Workload
+	}
+	wp.Scale = cfg.Scale
+
+	mc := machine.NASConfig(cfg.Seed)
+	if cfg.Machine != nil {
+		mc = *cfg.Machine
+	}
+	// The 7.6 GB volume cannot hold a full-scale three-week output
+	// load (real users archived results off-machine between runs, a
+	// process outside the traced window); give the simulated drives
+	// room at larger scales. This changes capacity only, not timing
+	// parameters. See DESIGN.md.
+	if cfg.Scale > 0.2 && cfg.Machine == nil {
+		grow := int64(1 + 15*cfg.Scale)
+		mc.FS.IONode.Disk.CapacityBytes *= grow
+	}
+
+	k := sim.New()
+	m := machine.New(k, mc)
+	gen := workload.NewGenerator(wp)
+	horizon := gen.Install(m)
+	k.Run()
+	tr := m.FinishTracing()
+	events := trace.Postprocess(tr)
+	report := analysis.Analyze(tr.Header, events, horizon)
+	return &Result{
+		Header:        tr.Header,
+		Trace:         tr,
+		Events:        events,
+		Report:        report,
+		Horizon:       horizon,
+		TraceRecords:  m.TraceRecords(),
+		TraceMessages: m.TraceMessages(),
+		DiskOps:       m.FS().TotalDiskOps(),
+	}
+}
+
+// Fig8Result is the compute-node caching experiment at one cache size.
+type Fig8Result struct {
+	Buffers int
+	Jobs    []cachesim.JobHitRate
+}
+
+// RunFig8 reproduces Figure 8: per-job hit-rate distributions for
+// compute-node caches of 1, 10, and 50 one-block buffers.
+func RunFig8(events []trace.Event, blockBytes int64) []Fig8Result {
+	var out []Fig8Result
+	for _, buffers := range []int{1, 10, 50} {
+		out = append(out, Fig8Result{
+			Buffers: buffers,
+			Jobs:    cachesim.ComputeNodeCache(events, blockBytes, buffers),
+		})
+	}
+	return out
+}
+
+// Fig9Sweep reproduces one Figure 9 curve: hit rate as a function of
+// total buffer count for the given policy and I/O-node count.
+func Fig9Sweep(events []trace.Event, blockBytes int64, ioNodes int, policy cachesim.Policy, bufferCounts []int) []cachesim.IONodeResult {
+	var out []cachesim.IONodeResult
+	for _, b := range bufferCounts {
+		if b < ioNodes {
+			b = ioNodes
+		}
+		out = append(out, cachesim.IONodeCache(events, blockBytes, ioNodes, b, policy))
+	}
+	return out
+}
+
+// DefaultFig9Buffers is the buffer-count sweep used by the harness,
+// spanning the paper's 0-25000 x-axis.
+func DefaultFig9Buffers() []int {
+	return []int{125, 250, 500, 1000, 2000, 4000, 8000, 12000, 16000, 20000, 25000}
+}
+
+// RunCombined reproduces the Section 4.8 combined experiment: single
+// one-block compute-node buffers in front of 10 I/O nodes with 50
+// buffers each.
+func RunCombined(events []trace.Event, blockBytes int64) cachesim.CombinedResult {
+	return cachesim.Combined(events, blockBytes, 10, 50)
+}

@@ -1,0 +1,142 @@
+// Package disk models the timing of the single 760 MB SCSI drive that
+// each iPSC/860 I/O node owned.
+//
+// The model is deterministic and position-aware: a request pays a seek
+// cost proportional to the square root of the cylinder distance (a
+// standard approximation of arm acceleration), an average rotational
+// latency, and a transfer cost at the media rate. Requests to the
+// cylinder under the head pay no seek. The drive is a serial resource:
+// callers serialize access through a sim.Resource in the I/O node.
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Config describes a drive's geometry and speeds.
+type Config struct {
+	CapacityBytes  int64    // total capacity
+	BlockBytes     int      // file-system block size (4096 on CFS)
+	Cylinders      int      // number of cylinders
+	MinSeek        sim.Time // single-track seek
+	MaxSeek        sim.Time // full-stroke seek
+	RotationPeriod sim.Time // one revolution
+	BytesPerSecond float64  // media transfer rate
+}
+
+// CDC760MB returns parameters approximating the ~760 MB SCSI drives on
+// the NAS iPSC/860 I/O nodes: ~16.7 ms revolution (3600 RPM), 2 ms
+// track-to-track, 25 ms full stroke, ~1.5 MB/s media rate.
+func CDC760MB() Config {
+	return Config{
+		CapacityBytes:  760 << 20,
+		BlockBytes:     4096,
+		Cylinders:      1632,
+		MinSeek:        2 * sim.Millisecond,
+		MaxSeek:        25 * sim.Millisecond,
+		RotationPeriod: sim.Time(16667 * sim.Microsecond),
+		BytesPerSecond: 1.5e6,
+	}
+}
+
+// Disk models one drive. It tracks head position so that sequential
+// block streams are much cheaper than random ones, which is what makes
+// request coalescing (the point of the paper's caching discussion)
+// matter.
+type Disk struct {
+	cfg       Config
+	headCyl   int
+	nextBlock int64 // block following the last transfer; -1 when cold
+	blocks    int64
+	blocksPer int64 // blocks per cylinder
+	reads     int64
+	writes    int64
+	busy      sim.Time // accumulated service time
+}
+
+// New returns a drive with the head parked at cylinder 0.
+func New(cfg Config) *Disk {
+	if cfg.BlockBytes <= 0 || cfg.CapacityBytes <= 0 || cfg.Cylinders <= 0 {
+		panic("disk: invalid geometry")
+	}
+	if cfg.BytesPerSecond <= 0 {
+		panic("disk: invalid transfer rate")
+	}
+	blocks := cfg.CapacityBytes / int64(cfg.BlockBytes)
+	per := blocks / int64(cfg.Cylinders)
+	if per == 0 {
+		per = 1
+	}
+	return &Disk{cfg: cfg, blocks: blocks, blocksPer: per, nextBlock: -1}
+}
+
+// Config returns the drive's configuration.
+func (d *Disk) Config() Config { return d.cfg }
+
+// Blocks returns the number of addressable blocks.
+func (d *Disk) Blocks() int64 { return d.blocks }
+
+// Reads and Writes report operation counts; BusyTime the summed
+// service time.
+func (d *Disk) Reads() int64       { return d.reads }
+func (d *Disk) Writes() int64      { return d.writes }
+func (d *Disk) BusyTime() sim.Time { return d.busy }
+
+// cylinderOf maps a block number to its cylinder.
+func (d *Disk) cylinderOf(block int64) int {
+	c := int(block / d.blocksPer)
+	if c >= d.cfg.Cylinders {
+		c = d.cfg.Cylinders - 1
+	}
+	return c
+}
+
+// seekTime returns the arm movement cost between cylinders.
+func (d *Disk) seekTime(from, to int) sim.Time {
+	if from == to {
+		return 0
+	}
+	dist := float64(from - to)
+	if dist < 0 {
+		dist = -dist
+	}
+	frac := math.Sqrt(dist / float64(d.cfg.Cylinders-1))
+	return d.cfg.MinSeek + sim.Time(frac*float64(d.cfg.MaxSeek-d.cfg.MinSeek))
+}
+
+// ServiceTime returns the modeled time to transfer count blocks
+// starting at block, and moves the head there. It panics on
+// out-of-range requests: callers (the CFS I/O node) own allocation and
+// must never issue a bad block address.
+func (d *Disk) ServiceTime(block int64, count int, isWrite bool) sim.Time {
+	if count <= 0 {
+		panic(fmt.Sprintf("disk: non-positive block count %d", count))
+	}
+	if block < 0 || block+int64(count) > d.blocks {
+		panic(fmt.Sprintf("disk: blocks [%d,%d) out of range [0,%d)", block, block+int64(count), d.blocks))
+	}
+	target := d.cylinderOf(block)
+	seek := d.seekTime(d.headCyl, target)
+	var rot sim.Time
+	if block != d.nextBlock {
+		// Any non-sequential access pays half a revolution on
+		// average; a purely sequential follow-on request catches
+		// the platter in position.
+		rot = d.cfg.RotationPeriod / 2
+	}
+	bytes := int64(count) * int64(d.cfg.BlockBytes)
+	transfer := sim.Time(float64(bytes) / d.cfg.BytesPerSecond * float64(sim.Second))
+	d.headCyl = d.cylinderOf(block + int64(count) - 1)
+	d.nextBlock = block + int64(count)
+	if isWrite {
+		d.writes++
+	} else {
+		d.reads++
+	}
+	total := seek + rot + transfer
+	d.busy += total
+	return total
+}

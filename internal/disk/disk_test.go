@@ -1,0 +1,158 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestGeometry(t *testing.T) {
+	d := New(CDC760MB())
+	wantBlocks := int64(760<<20) / 4096
+	if d.Blocks() != wantBlocks {
+		t.Fatalf("blocks = %d, want %d", d.Blocks(), wantBlocks)
+	}
+	if d.Config().BlockBytes != 4096 {
+		t.Fatalf("block bytes = %d", d.Config().BlockBytes)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	bad := []Config{
+		{CapacityBytes: 0, BlockBytes: 4096, Cylinders: 10, BytesPerSecond: 1},
+		{CapacityBytes: 1 << 20, BlockBytes: 0, Cylinders: 10, BytesPerSecond: 1},
+		{CapacityBytes: 1 << 20, BlockBytes: 4096, Cylinders: 0, BytesPerSecond: 1},
+		{CapacityBytes: 1 << 20, BlockBytes: 4096, Cylinders: 10, BytesPerSecond: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestSequentialCheaperThanRandom(t *testing.T) {
+	seqDisk := New(CDC760MB())
+	var seq sim.Time
+	for b := int64(0); b < 100; b++ {
+		seq += seqDisk.ServiceTime(b, 1, false)
+	}
+	rndDisk := New(CDC760MB())
+	var rnd sim.Time
+	for i := 0; i < 100; i++ {
+		// Jump across the disk in big strides.
+		block := (int64(i) * 104729) % rndDisk.Blocks()
+		rnd += rndDisk.ServiceTime(block, 1, false)
+	}
+	if seq*2 >= rnd {
+		t.Fatalf("sequential %v not much cheaper than random %v", seq, rnd)
+	}
+}
+
+func TestSequentialFollowOnSkipsRotation(t *testing.T) {
+	d := New(CDC760MB())
+	first := d.ServiceTime(0, 1, false)
+	second := d.ServiceTime(1, 1, false)
+	if second >= first {
+		t.Fatalf("follow-on %v should be cheaper than cold %v", second, first)
+	}
+}
+
+func TestLargerTransfersTakeLonger(t *testing.T) {
+	a := New(CDC760MB())
+	small := a.ServiceTime(0, 1, false)
+	b := New(CDC760MB())
+	large := b.ServiceTime(0, 64, false)
+	if large <= small {
+		t.Fatalf("64-block %v <= 1-block %v", large, small)
+	}
+}
+
+func TestCountersTrackOps(t *testing.T) {
+	d := New(CDC760MB())
+	d.ServiceTime(0, 1, false)
+	d.ServiceTime(1, 1, true)
+	d.ServiceTime(2, 1, true)
+	if d.Reads() != 1 || d.Writes() != 2 {
+		t.Fatalf("reads=%d writes=%d", d.Reads(), d.Writes())
+	}
+	if d.BusyTime() <= 0 {
+		t.Fatal("busy time not accumulated")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := New(CDC760MB())
+	for _, tc := range []struct {
+		block int64
+		count int
+	}{
+		{-1, 1},
+		{d.Blocks(), 1},
+		{d.Blocks() - 1, 2},
+		{0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("block=%d count=%d did not panic", tc.block, tc.count)
+				}
+			}()
+			d.ServiceTime(tc.block, tc.count, false)
+		}()
+	}
+}
+
+func TestFullStrokeSeekCostsMost(t *testing.T) {
+	d := New(CDC760MB())
+	d.ServiceTime(0, 1, false)
+	farTime := d.ServiceTime(d.Blocks()-1, 1, false)
+	d2 := New(CDC760MB())
+	d2.ServiceTime(0, 1, false)
+	nearTime := d2.ServiceTime(d2.Blocks()/100, 1, false)
+	if farTime <= nearTime {
+		t.Fatalf("full-stroke %v <= short seek %v", farTime, nearTime)
+	}
+}
+
+// Property: service time is always positive and bounded by a sane
+// ceiling (seek + rotation + transfer of the whole request).
+func TestQuickServiceTimeBounds(t *testing.T) {
+	cfg := CDC760MB()
+	d := New(cfg)
+	f := func(blockRaw uint32, countRaw uint8) bool {
+		count := int(countRaw%64) + 1
+		block := int64(blockRaw) % (d.Blocks() - int64(count))
+		got := d.ServiceTime(block, count, false)
+		if got <= 0 {
+			return false
+		}
+		bytes := float64(count) * float64(cfg.BlockBytes)
+		ceiling := cfg.MaxSeek + cfg.RotationPeriod +
+			sim.Time(bytes/cfg.BytesPerSecond*float64(sim.Second)) + sim.Millisecond
+		return got <= ceiling
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: op counters equal the number of calls.
+func TestQuickCountersConsistent(t *testing.T) {
+	f := func(ops []bool) bool {
+		d := New(CDC760MB())
+		for _, w := range ops {
+			d.ServiceTime(0, 1, w)
+		}
+		return d.Reads()+d.Writes() == int64(len(ops))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

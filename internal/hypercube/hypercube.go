@@ -1,0 +1,187 @@
+// Package hypercube models the iPSC/860 interconnect: a d-dimensional
+// hypercube of compute nodes with e-cube (dimension-ordered) routing,
+// plus peripheral nodes (I/O and service nodes) that hang off a single
+// compute node rather than sitting on the cube itself, exactly as on
+// the NASA Ames machine.
+//
+// The latency model is startup + per-hop + bandwidth; messages larger
+// than the packet size are split into packets (4 KB on the iPSC), each
+// paying a small per-packet overhead. Link contention is not modeled:
+// the workload characteristics under study are dominated by software
+// overhead, disk service, and cache behaviour, not by link queueing.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// Config holds the latency parameters of the interconnect.
+type Config struct {
+	Dim            int      // hypercube dimension; 7 for 128 nodes
+	Startup        sim.Time // per-message software latency
+	PerHop         sim.Time // additional latency per hop traversed
+	PerPacket      sim.Time // per-packet handling overhead
+	PacketBytes    int      // packetization unit (4096 on the iPSC)
+	BytesPerSecond float64  // link bandwidth
+}
+
+// IPSC860 returns the interconnect parameters of the iPSC/860:
+// roughly 75 us message startup, ~10 us per hop, 4 KB packets and
+// 2.8 MB/s links, consistent with published measurements of the
+// machine.
+func IPSC860() Config {
+	return Config{
+		Dim:            7,
+		Startup:        75 * sim.Microsecond,
+		PerHop:         10 * sim.Microsecond,
+		PerPacket:      15 * sim.Microsecond,
+		PacketBytes:    4096,
+		BytesPerSecond: 2.8e6,
+	}
+}
+
+// Network is a hypercube interconnect bound to a simulation kernel.
+type Network struct {
+	k   *sim.Kernel
+	cfg Config
+
+	delivered int64 // messages delivered, for instrumentation
+	bytesSent int64
+}
+
+// New returns a network on kernel k with the given configuration.
+func New(k *sim.Kernel, cfg Config) *Network {
+	if cfg.Dim < 0 || cfg.Dim > 16 {
+		panic(fmt.Sprintf("hypercube: unreasonable dimension %d", cfg.Dim))
+	}
+	if cfg.PacketBytes <= 0 {
+		panic("hypercube: packet size must be positive")
+	}
+	if cfg.BytesPerSecond <= 0 {
+		panic("hypercube: bandwidth must be positive")
+	}
+	return &Network{k: k, cfg: cfg}
+}
+
+// Nodes returns the number of compute nodes (2^dim).
+func (n *Network) Nodes() int { return 1 << n.cfg.Dim }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Delivered reports the number of messages delivered so far.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// BytesSent reports the total payload bytes sent so far.
+func (n *Network) BytesSent() int64 { return n.bytesSent }
+
+// Hops returns the hypercube distance between two compute nodes:
+// the number of bits in which their addresses differ.
+func Hops(a, b int) int { return bits.OnesCount32(uint32(a) ^ uint32(b)) }
+
+// Route returns the e-cube (dimension-ordered) path from a to b,
+// inclusive of both endpoints. E-cube routing resolves address bits
+// from lowest dimension to highest, which is deadlock-free on a
+// hypercube.
+func Route(a, b int) []int {
+	path := []int{a}
+	cur := a
+	diff := a ^ b
+	for d := 0; diff != 0; d++ {
+		bit := 1 << d
+		if diff&bit != 0 {
+			cur ^= bit
+			path = append(path, cur)
+			diff &^= bit
+		}
+	}
+	return path
+}
+
+// validate panics if id is not a compute-node address.
+func (n *Network) validate(id int) {
+	if id < 0 || id >= n.Nodes() {
+		panic(fmt.Sprintf("hypercube: node %d out of range [0,%d)", id, n.Nodes()))
+	}
+}
+
+// Latency returns the modeled end-to-end time for a message of the
+// given payload size between two compute nodes. extraHops accounts for
+// peripheral links (an I/O or service node hangs one hop off its host
+// compute node).
+func (n *Network) latency(hops, extraHops, bytes int) sim.Time {
+	if bytes < 0 {
+		panic("hypercube: negative message size")
+	}
+	packets := (bytes + n.cfg.PacketBytes - 1) / n.cfg.PacketBytes
+	if packets == 0 {
+		packets = 1 // even empty messages occupy one packet
+	}
+	transfer := sim.Time(float64(bytes) / n.cfg.BytesPerSecond * float64(sim.Second))
+	return n.cfg.Startup +
+		sim.Time(hops+extraHops)*n.cfg.PerHop +
+		sim.Time(packets)*n.cfg.PerPacket +
+		transfer
+}
+
+// Latency returns the modeled delivery time for a message between
+// compute nodes src and dst.
+func (n *Network) Latency(src, dst, bytes int) sim.Time {
+	n.validate(src)
+	n.validate(dst)
+	return n.latency(Hops(src, dst), 0, bytes)
+}
+
+// Send schedules deliver to run after the modeled latency of a
+// bytes-sized message from src to dst.
+func (n *Network) Send(src, dst, bytes int, deliver func()) {
+	lat := n.Latency(src, dst, bytes)
+	n.bytesSent += int64(bytes)
+	n.k.After(lat, func() {
+		n.delivered++
+		deliver()
+	})
+}
+
+// Attachment is a peripheral node (I/O node or service node) attached
+// to one compute node by a dedicated link, as on the iPSC/860.
+type Attachment struct {
+	net  *Network
+	host int // compute node the peripheral hangs off
+}
+
+// Attach returns an attachment at the given host compute node.
+func (n *Network) Attach(host int) *Attachment {
+	n.validate(host)
+	return &Attachment{net: n, host: host}
+}
+
+// Host returns the compute node the peripheral is attached to.
+func (a *Attachment) Host() int { return a.host }
+
+// LatencyFrom returns the latency of a message from compute node src
+// to this peripheral: the cube path to the host plus one peripheral hop.
+func (a *Attachment) LatencyFrom(src, bytes int) sim.Time {
+	a.net.validate(src)
+	return a.net.latency(Hops(src, a.host), 1, bytes)
+}
+
+// SendTo schedules delivery of a message from compute node src to the
+// peripheral.
+func (a *Attachment) SendTo(src, bytes int, deliver func()) {
+	lat := a.LatencyFrom(src, bytes)
+	a.net.bytesSent += int64(bytes)
+	a.net.k.After(lat, func() {
+		a.net.delivered++
+		deliver()
+	})
+}
+
+// SendFrom schedules delivery of a message from the peripheral back to
+// compute node dst (same path in reverse).
+func (a *Attachment) SendFrom(dst, bytes int, deliver func()) {
+	a.SendTo(dst, bytes, deliver)
+}

@@ -1,0 +1,223 @@
+package hypercube
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHops(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 2},
+		{0, 127, 7},
+		{5, 6, 2}, // 101 vs 110
+	}
+	for _, tc := range cases {
+		if got := Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestRouteEndpoints(t *testing.T) {
+	path := Route(5, 9)
+	if path[0] != 5 || path[len(path)-1] != 9 {
+		t.Fatalf("route = %v", path)
+	}
+	if len(path) != Hops(5, 9)+1 {
+		t.Fatalf("route length %d, want %d", len(path), Hops(5, 9)+1)
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	path := Route(7, 7)
+	if len(path) != 1 || path[0] != 7 {
+		t.Fatalf("self route = %v", path)
+	}
+}
+
+func TestRouteStepsAreNeighbors(t *testing.T) {
+	path := Route(0, 127)
+	for i := 1; i < len(path); i++ {
+		if Hops(path[i-1], path[i]) != 1 {
+			t.Fatalf("non-neighbor step %d->%d in %v", path[i-1], path[i], path)
+		}
+	}
+}
+
+func TestIPSC860Config(t *testing.T) {
+	cfg := IPSC860()
+	if cfg.Dim != 7 {
+		t.Fatalf("dim = %d", cfg.Dim)
+	}
+	if cfg.PacketBytes != 4096 {
+		t.Fatalf("packet = %d", cfg.PacketBytes)
+	}
+}
+
+func TestNetworkNodes(t *testing.T) {
+	n := New(sim.New(), IPSC860())
+	if n.Nodes() != 128 {
+		t.Fatalf("nodes = %d", n.Nodes())
+	}
+}
+
+func TestLatencyGrowsWithDistance(t *testing.T) {
+	n := New(sim.New(), IPSC860())
+	near := n.Latency(0, 1, 100)
+	far := n.Latency(0, 127, 100)
+	if far <= near {
+		t.Fatalf("far latency %v <= near latency %v", far, near)
+	}
+}
+
+func TestLatencyGrowsWithSize(t *testing.T) {
+	n := New(sim.New(), IPSC860())
+	small := n.Latency(0, 1, 100)
+	large := n.Latency(0, 1, 1<<20)
+	if large <= small {
+		t.Fatalf("large message latency %v <= small %v", large, small)
+	}
+}
+
+func TestLatencyPacketization(t *testing.T) {
+	n := New(sim.New(), IPSC860())
+	onePacket := n.Latency(0, 1, 4096)
+	twoPackets := n.Latency(0, 1, 4097)
+	wantGap := n.Config().PerPacket
+	gap := twoPackets - onePacket
+	if gap < wantGap {
+		t.Fatalf("crossing a packet boundary added only %v, want at least %v", gap, wantGap)
+	}
+}
+
+func TestZeroByteMessageStillCosts(t *testing.T) {
+	n := New(sim.New(), IPSC860())
+	if n.Latency(0, 0, 0) <= 0 {
+		t.Fatal("zero-byte message should still cost startup time")
+	}
+}
+
+func TestSendDeliversAtLatency(t *testing.T) {
+	k := sim.New()
+	n := New(k, IPSC860())
+	var deliveredAt sim.Time
+	n.Send(0, 5, 1000, func() { deliveredAt = k.Now() })
+	k.Run()
+	if deliveredAt != n.Latency(0, 5, 1000) {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, n.Latency(0, 5, 1000))
+	}
+	if n.Delivered() != 1 || n.BytesSent() != 1000 {
+		t.Fatalf("counters: delivered=%d bytes=%d", n.Delivered(), n.BytesSent())
+	}
+}
+
+func TestSendOutOfRangePanics(t *testing.T) {
+	n := New(sim.New(), IPSC860())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range node did not panic")
+		}
+	}()
+	n.Send(0, 128, 10, func() {})
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	n := New(sim.New(), IPSC860())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	n.Latency(0, 1, -1)
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Dim: -1, PacketBytes: 4096, BytesPerSecond: 1},
+		{Dim: 7, PacketBytes: 0, BytesPerSecond: 1},
+		{Dim: 7, PacketBytes: 4096, BytesPerSecond: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(sim.New(), cfg)
+		}()
+	}
+}
+
+func TestAttachmentExtraHop(t *testing.T) {
+	n := New(sim.New(), IPSC860())
+	att := n.Attach(3)
+	if att.Host() != 3 {
+		t.Fatalf("host = %d", att.Host())
+	}
+	direct := n.Latency(0, 3, 500)
+	viaPeripheral := att.LatencyFrom(0, 500)
+	if viaPeripheral <= direct {
+		t.Fatalf("peripheral latency %v should exceed direct %v", viaPeripheral, direct)
+	}
+}
+
+func TestAttachmentSendBothWays(t *testing.T) {
+	k := sim.New()
+	n := New(k, IPSC860())
+	att := n.Attach(9)
+	hits := 0
+	att.SendTo(4, 100, func() { hits++ })
+	att.SendFrom(4, 100, func() { hits++ })
+	k.Run()
+	if hits != 2 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+// Property: Hops is a metric - symmetric, zero iff equal, and the
+// e-cube route has exactly Hops steps.
+func TestQuickHopsMetric(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a, b := int(aRaw%128), int(bRaw%128)
+		if Hops(a, b) != Hops(b, a) {
+			return false
+		}
+		if (Hops(a, b) == 0) != (a == b) {
+			return false
+		}
+		return len(Route(a, b)) == Hops(a, b)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality on the hypercube metric.
+func TestQuickHopsTriangle(t *testing.T) {
+	f := func(aRaw, bRaw, cRaw uint8) bool {
+		a, b, c := int(aRaw%128), int(bRaw%128), int(cRaw%128)
+		return Hops(a, c) <= Hops(a, b)+Hops(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: latency is monotone in message size.
+func TestQuickLatencyMonotoneInSize(t *testing.T) {
+	n := New(sim.New(), IPSC860())
+	f := func(s1, s2 uint32) bool {
+		a, b := int(s1%(1<<22)), int(s2%(1<<22))
+		if a > b {
+			a, b = b, a
+		}
+		return n.Latency(0, 64, a) <= n.Latency(0, 64, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderFor(t *testing.T) {
+	cases := []struct {
+		n     int
+		order int
+		ok    bool
+	}{
+		{1, 0, true}, {2, 1, true}, {64, 6, true}, {128, 7, true},
+		{0, 0, false}, {3, 0, false}, {6, 0, false}, {-4, 0, false},
+	}
+	for _, tc := range cases {
+		order, ok := orderFor(tc.n)
+		if ok != tc.ok || (ok && order != tc.order) {
+			t.Errorf("orderFor(%d) = (%d,%v), want (%d,%v)", tc.n, order, ok, tc.order, tc.ok)
+		}
+	}
+}
+
+func TestBuddyAllocWholeMachine(t *testing.T) {
+	a := newBuddyAllocator(7)
+	base, ok := a.Alloc(128)
+	if !ok || base != 0 {
+		t.Fatalf("alloc 128 = (%d,%v)", base, ok)
+	}
+	if _, ok := a.Alloc(1); ok {
+		t.Fatal("allocation from a full machine succeeded")
+	}
+	a.Free(0)
+	if a.FreeNodes() != 128 {
+		t.Fatalf("free nodes = %d", a.FreeNodes())
+	}
+}
+
+func TestBuddySplitAndCoalesce(t *testing.T) {
+	a := newBuddyAllocator(7)
+	b1, _ := a.Alloc(32)
+	b2, _ := a.Alloc(32)
+	b3, _ := a.Alloc(64)
+	if a.FreeNodes() != 0 {
+		t.Fatalf("free = %d after filling machine", a.FreeNodes())
+	}
+	bases := map[int]bool{b1: true, b2: true, b3: true}
+	if len(bases) != 3 {
+		t.Fatal("overlapping allocations")
+	}
+	a.Free(b1)
+	a.Free(b2)
+	a.Free(b3)
+	if a.FreeNodes() != 128 {
+		t.Fatalf("free = %d after releasing all", a.FreeNodes())
+	}
+	// After full coalescing, a 128-node job must fit again.
+	if _, ok := a.Alloc(128); !ok {
+		t.Fatal("coalescing failed: cannot allocate whole machine")
+	}
+}
+
+func TestBuddySubcubeAlignment(t *testing.T) {
+	a := newBuddyAllocator(7)
+	for i := 0; i < 16; i++ {
+		base, ok := a.Alloc(8)
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if base%8 != 0 {
+			t.Fatalf("8-node subcube at unaligned base %d", base)
+		}
+	}
+}
+
+func TestBuddyCanAlloc(t *testing.T) {
+	a := newBuddyAllocator(3) // 8 nodes
+	if !a.CanAlloc(8) || !a.CanAlloc(1) {
+		t.Fatal("empty machine should fit anything")
+	}
+	if a.CanAlloc(16) || a.CanAlloc(3) {
+		t.Fatal("oversized / non-power-of-2 should be unallocatable")
+	}
+	a.Alloc(8)
+	if a.CanAlloc(1) {
+		t.Fatal("full machine reported space")
+	}
+}
+
+func TestBuddyFreeUnallocatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing unallocated base did not panic")
+		}
+	}()
+	newBuddyAllocator(3).Free(0)
+}
+
+func TestBuddyBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alloc(3) did not panic")
+		}
+	}()
+	newBuddyAllocator(3).Alloc(3)
+}
+
+// Property: allocations never overlap and never exceed the machine.
+func TestQuickBuddyNoOverlap(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := newBuddyAllocator(6) // 64 nodes
+		type alloc struct{ base, n int }
+		var live []alloc
+		owned := make([]bool, 64)
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				n := 1 << (op % 5) // 1..16 nodes
+				base, ok := a.Alloc(n)
+				if !ok {
+					continue
+				}
+				for i := base; i < base+n; i++ {
+					if owned[i] {
+						return false // overlap
+					}
+					owned[i] = true
+				}
+				live = append(live, alloc{base, n})
+			} else {
+				idx := int(op/2) % len(live)
+				al := live[idx]
+				a.Free(al.base)
+				for i := al.base; i < al.base+al.n; i++ {
+					owned[i] = false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			}
+		}
+		inUse := 0
+		for _, o := range owned {
+			if o {
+				inUse++
+			}
+		}
+		return a.FreeNodes() == 64-inUse
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

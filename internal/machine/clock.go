@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DriftClock models an iPSC/860 node clock: synchronized (imperfectly)
+// at system startup, then drifting at a constant node-specific rate.
+// The paper's postprocessing exists precisely because these clocks
+// made raw trace timestamps incomparable across nodes.
+//
+// local(t) = offset + t * (1 + driftPPM/1e6)
+type DriftClock struct {
+	k        *sim.Kernel
+	offset   sim.Time
+	driftPPM float64
+}
+
+// NewDriftClock returns a clock with the given startup offset and
+// drift rate in parts per million.
+func NewDriftClock(k *sim.Kernel, offset sim.Time, driftPPM float64) *DriftClock {
+	return &DriftClock{k: k, offset: offset, driftPPM: driftPPM}
+}
+
+// RandomDriftClock draws a clock with offset uniform in +/- maxOffset
+// and drift uniform in +/- maxDriftPPM.
+func RandomDriftClock(k *sim.Kernel, rng *stats.RNG, maxOffset sim.Time, maxDriftPPM float64) *DriftClock {
+	off := sim.Time(rng.Int64n(int64(2*maxOffset+1))) - maxOffset
+	drift := (rng.Float64()*2 - 1) * maxDriftPPM
+	return NewDriftClock(k, off, drift)
+}
+
+// Now implements trace.Clock: the node's local reading of the current
+// virtual time.
+func (c *DriftClock) Now() sim.Time {
+	t := float64(c.k.Now())
+	return c.offset + sim.Time(t*(1+c.driftPPM/1e6))
+}
+
+// Offset returns the startup offset.
+func (c *DriftClock) Offset() sim.Time { return c.offset }
+
+// DriftPPM returns the drift rate.
+func (c *DriftClock) DriftPPM() float64 { return c.driftPPM }

@@ -1,0 +1,400 @@
+// Package machine assembles the simulated NASA Ames iPSC/860: 128
+// compute nodes on a 7-dimensional hypercube, 10 I/O nodes each hanging
+// off one compute node, a service node running the CHARISMA collector,
+// drifting per-node clocks, a buddy subcube allocator, and an NQS-like
+// job queue. Jobs are per-node programs written against the CFS client
+// API; instrumented jobs are traced through per-node 4 KB buffers
+// exactly as in the paper.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfs"
+	"repro/internal/hypercube"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config sizes the machine.
+type Config struct {
+	ComputeNodes     int // must be a power of two (128 at NAS)
+	Net              hypercube.Config
+	FS               cfs.Config
+	ServiceHost      int      // compute node the service node attaches to
+	TraceBufferBytes int      // per-node trace buffer (4096)
+	MaxClockOffset   sim.Time // startup clock skew bound
+	MaxClockDriftPPM float64  // drift-rate bound
+	Seed             uint64
+}
+
+// NASConfig returns the NAS facility configuration used throughout the
+// paper: 128 compute nodes, 10 I/O nodes with 760 MB disks, one
+// service node, 4 KB blocks and trace buffers.
+func NASConfig(seed uint64) Config {
+	return Config{
+		ComputeNodes:     128,
+		Net:              hypercube.IPSC860(),
+		FS:               cfs.DefaultConfig(),
+		ServiceHost:      0,
+		TraceBufferBytes: trace.DefaultBufferBytes,
+		MaxClockOffset:   100 * sim.Millisecond,
+		MaxClockDriftPPM: 100,
+		Seed:             seed,
+	}
+}
+
+// NodeCtx is what a job's per-node program receives: its process, its
+// identity, and its CFS client.
+type NodeCtx struct {
+	P        *sim.Proc
+	Node     int // physical compute node
+	Rank     int // rank within the job, 0..JobNodes-1
+	JobNodes int // number of nodes in the job
+	JobID    uint32
+	CFS      *cfs.Client
+}
+
+// JobSpec describes one submitted job.
+type JobSpec struct {
+	Nodes  int  // power of two <= ComputeNodes
+	Traced bool // whether the job linked the instrumented library
+	// Body runs on every node of the job; nil bodies model jobs that
+	// do no CFS I/O (most system programs).
+	Body func(ctx *NodeCtx)
+}
+
+type queuedJob struct {
+	spec JobSpec
+	id   uint32
+}
+
+// JobRecord summarizes one completed or running job for analysis.
+type JobRecord struct {
+	ID     uint32
+	Nodes  int
+	Traced bool
+	Start  sim.Time
+	End    sim.Time // zero while running
+}
+
+// Machine is the simulated iPSC/860.
+type Machine struct {
+	k   *sim.Kernel
+	cfg Config
+	rng *stats.RNG
+
+	net         *hypercube.Network
+	ioAttach    []*hypercube.Attachment
+	svcAttach   *hypercube.Attachment
+	fs          *cfs.FileSystem
+	clocks      []*DriftClock
+	nodeBuffers []*trace.NodeBuffer
+	collector   *trace.Collector
+
+	alloc   *buddyAllocator
+	queue   []queuedJob
+	running map[uint32]*runningJob
+	nextJob uint32
+
+	jobRecords []JobRecord
+	jobLog     *trace.NodeBuffer // the "separate mechanism" for job starts/ends
+
+	finished bool
+}
+
+type runningJob struct {
+	id      uint32
+	base    int
+	nodes   int
+	traced  bool
+	pending int // node programs still running
+	record  int // index into jobRecords
+}
+
+// transport adapts the hypercube to the cfs.Transport interface. CFS
+// compute nodes message the I/O node's host over the cube, then cross
+// the peripheral link.
+type transport struct{ m *Machine }
+
+func (t transport) ToIONode(computeNode, ioNode, bytes int) sim.Time {
+	return t.m.ioAttach[ioNode].LatencyFrom(computeNode, bytes)
+}
+
+func (t transport) FromIONode(ioNode, computeNode, bytes int) sim.Time {
+	return t.m.ioAttach[ioNode].LatencyFrom(computeNode, bytes)
+}
+
+// New builds the machine on the given kernel.
+func New(k *sim.Kernel, cfg Config) *Machine {
+	order, pow2 := orderFor(cfg.ComputeNodes)
+	if !pow2 {
+		panic(fmt.Sprintf("machine: compute nodes %d not a power of two", cfg.ComputeNodes))
+	}
+	if cfg.ComputeNodes != 1<<cfg.Net.Dim {
+		panic("machine: network dimension disagrees with node count")
+	}
+	m := &Machine{
+		k:       k,
+		cfg:     cfg,
+		rng:     stats.NewRNG(cfg.Seed),
+		net:     hypercube.New(k, cfg.Net),
+		alloc:   newBuddyAllocator(order),
+		running: make(map[uint32]*runningJob),
+	}
+	// I/O nodes attach to evenly spaced compute nodes.
+	for i := 0; i < cfg.FS.IONodes; i++ {
+		host := i * cfg.ComputeNodes / cfg.FS.IONodes
+		m.ioAttach = append(m.ioAttach, m.net.Attach(host))
+	}
+	m.svcAttach = m.net.Attach(cfg.ServiceHost)
+	m.fs = cfs.New(k, cfg.FS, transport{m})
+
+	// Per-node drifting clocks; the collector's clock is the reference
+	// timebase (offset 0, drift 0), so corrected trace times are
+	// directly comparable to true simulation times.
+	clockRNG := m.rng.Split(0x10c5)
+	for n := 0; n < cfg.ComputeNodes; n++ {
+		m.clocks = append(m.clocks,
+			RandomDriftClock(k, clockRNG.Split(uint64(n)), cfg.MaxClockOffset, cfg.MaxClockDriftPPM))
+	}
+	collectorClock := NewDriftClock(k, 0, 0)
+	m.collector = trace.NewCollector(collectorClock, trace.Header{
+		ComputeNodes: uint16(cfg.ComputeNodes),
+		IONodes:      uint16(cfg.FS.IONodes),
+		BlockBytes:   uint32(cfg.FS.BlockBytes),
+		BufferBytes:  uint32(cfg.TraceBufferBytes),
+		Seed:         cfg.Seed,
+	})
+	// Per-node trace buffers ship blocks over the cube to the service
+	// node's collector.
+	for n := 0; n < cfg.ComputeNodes; n++ {
+		node := n
+		m.nodeBuffers = append(m.nodeBuffers, trace.NewNodeBuffer(
+			uint16(node), m.clocks[node], cfg.TraceBufferBytes,
+			func(blk trace.Block) {
+				bytes := len(blk.Events) * trace.EventSize
+				m.svcAttach.SendTo(node, bytes, func() {
+					m.collector.Deliver(blk)
+				})
+			}))
+	}
+	// Job starts/ends are logged by the resource manager on the
+	// service node itself: no drift, no network hop.
+	m.jobLog = trace.NewNodeBuffer(uint16(cfg.ComputeNodes), collectorClock,
+		cfg.TraceBufferBytes, func(blk trace.Block) { m.collector.Deliver(blk) })
+	return m
+}
+
+// Kernel returns the simulation kernel.
+func (m *Machine) Kernel() *sim.Kernel { return m.k }
+
+// FS returns the file system.
+func (m *Machine) FS() *cfs.FileSystem { return m.fs }
+
+// Network returns the interconnect.
+func (m *Machine) Network() *hypercube.Network { return m.net }
+
+// Clock returns compute node n's local clock.
+func (m *Machine) Clock(n int) *DriftClock { return m.clocks[n] }
+
+// RunningJobs reports the number of jobs currently on nodes.
+func (m *Machine) RunningJobs() int { return len(m.running) }
+
+// QueuedJobs reports the number of jobs waiting for nodes.
+func (m *Machine) QueuedJobs() int { return len(m.queue) }
+
+// JobRecords returns start/end bookkeeping for all jobs seen so far.
+func (m *Machine) JobRecords() []JobRecord { return m.jobRecords }
+
+// Submit enqueues a job at the current virtual time. Jobs start in
+// submission order as soon as a subcube of the requested size is free
+// (first-fit over the queue, like NQS with backfill).
+func (m *Machine) Submit(spec JobSpec) uint32 {
+	if m.finished {
+		panic("machine: submit after FinishTracing")
+	}
+	if _, pow2 := orderFor(spec.Nodes); !pow2 || spec.Nodes > m.cfg.ComputeNodes {
+		panic(fmt.Sprintf("machine: job wants %d nodes", spec.Nodes))
+	}
+	m.nextJob++
+	id := m.nextJob
+	m.queue = append(m.queue, queuedJob{spec: spec, id: id})
+	m.trySchedule()
+	return id
+}
+
+// SubmitAt schedules a Submit at absolute virtual time t.
+func (m *Machine) SubmitAt(t sim.Time, spec JobSpec) {
+	m.k.At(t, func() { m.Submit(spec) })
+}
+
+// trySchedule starts every queued job that fits, in queue order.
+func (m *Machine) trySchedule() {
+	kept := m.queue[:0]
+	for _, qj := range m.queue {
+		if base, ok := m.alloc.Alloc(qj.spec.Nodes); ok {
+			m.startJob(qj, base)
+		} else {
+			kept = append(kept, qj)
+		}
+	}
+	m.queue = kept
+}
+
+func (m *Machine) startJob(qj queuedJob, base int) {
+	spec := qj.spec
+	rj := &runningJob{
+		id:      qj.id,
+		base:    base,
+		nodes:   spec.Nodes,
+		traced:  spec.Traced,
+		pending: spec.Nodes,
+		record:  len(m.jobRecords),
+	}
+	m.running[qj.id] = rj
+	m.jobRecords = append(m.jobRecords, JobRecord{
+		ID: qj.id, Nodes: spec.Nodes, Traced: spec.Traced, Start: m.k.Now(),
+	})
+	ev := trace.Event{Type: trace.EvJobStart, Job: qj.id, Size: int64(spec.Nodes)}
+	if spec.Traced {
+		ev.Flags |= trace.FlagInstrumented
+	}
+	m.jobLog.Record(ev)
+
+	for rank := 0; rank < spec.Nodes; rank++ {
+		node := base + rank
+		ctx := &NodeCtx{
+			Node:     node,
+			Rank:     rank,
+			JobNodes: spec.Nodes,
+			JobID:    qj.id,
+		}
+		var tracer cfs.Tracer = cfs.NopTracer{}
+		if spec.Traced {
+			tracer = jobTracer{buf: m.nodeBuffers[node], job: qj.id}
+		}
+		ctx.CFS = cfs.NewClient(m.fs, qj.id, node, tracer)
+		m.k.Spawn(fmt.Sprintf("job%d/node%d", qj.id, node), func(p *sim.Proc) {
+			ctx.P = p
+			if spec.Body != nil {
+				spec.Body(ctx)
+			}
+			m.nodeDone(rj, node)
+		})
+	}
+}
+
+// jobTracer stamps the job ID onto events before buffering them.
+type jobTracer struct {
+	buf *trace.NodeBuffer
+	job uint32
+}
+
+func (t jobTracer) Record(ev trace.Event) {
+	ev.Job = t.job
+	t.buf.Record(ev)
+}
+
+func (m *Machine) nodeDone(rj *runningJob, node int) {
+	// A terminating process flushes its residual trace buffer, as the
+	// instrumented library did at exit.
+	if rj.traced {
+		m.nodeBuffers[node].Flush()
+	}
+	rj.pending--
+	if rj.pending > 0 {
+		return
+	}
+	m.alloc.Free(rj.base)
+	delete(m.running, rj.id)
+	m.jobRecords[rj.record].End = m.k.Now()
+	ev := trace.Event{Type: trace.EvJobEnd, Job: rj.id, Size: int64(rj.nodes)}
+	if rj.traced {
+		ev.Flags |= trace.FlagInstrumented
+	}
+	m.jobLog.Record(ev)
+	m.trySchedule()
+}
+
+// FinishTracing flushes every node's residual trace buffer and the job
+// log, then returns the collected trace. Call it after the kernel has
+// run to completion.
+func (m *Machine) FinishTracing() *trace.Trace {
+	if len(m.running) > 0 || len(m.queue) > 0 {
+		panic(fmt.Sprintf("machine: FinishTracing with %d running / %d queued jobs",
+			len(m.running), len(m.queue)))
+	}
+	if !m.finished {
+		for _, b := range m.nodeBuffers {
+			b.Flush()
+		}
+		m.jobLog.Flush()
+		m.finished = true
+		// Let the in-flight trace blocks reach the collector.
+		m.k.Run()
+	}
+	return m.collector.Trace()
+}
+
+// TraceMessages reports how many trace blocks were shipped, the
+// denominator for the paper's ">90% fewer messages" buffering claim.
+func (m *Machine) TraceMessages() int64 {
+	var n int64
+	for _, b := range m.nodeBuffers {
+		n += b.Flushes()
+	}
+	return n
+}
+
+// TraceRecords reports how many CFS events were recorded on nodes.
+func (m *Machine) TraceRecords() int64 {
+	var n int64
+	for _, b := range m.nodeBuffers {
+		n += b.Recorded()
+	}
+	return n
+}
+
+// ConcurrencyProfile computes, from the job records, how much wall
+// time the machine spent with each number of jobs running (Figure 1).
+// It covers [0, horizon).
+func (m *Machine) ConcurrencyProfile(horizon sim.Time) map[int]sim.Time {
+	type edge struct {
+		t sim.Time
+		d int
+	}
+	var edges []edge
+	for _, r := range m.jobRecords {
+		end := r.End
+		if end == 0 || end > horizon {
+			end = horizon
+		}
+		if r.Start >= horizon {
+			continue
+		}
+		edges = append(edges, edge{r.Start, +1}, edge{end, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].d < edges[j].d // ends before starts at ties
+	})
+	profile := make(map[int]sim.Time)
+	var prev sim.Time
+	level := 0
+	for _, e := range edges {
+		if e.t > prev {
+			profile[level] += e.t - prev
+			prev = e.t
+		}
+		level += e.d
+	}
+	if prev < horizon {
+		profile[level] += horizon - prev
+	}
+	return profile
+}

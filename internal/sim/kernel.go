@@ -1,0 +1,130 @@
+// Package sim implements a deterministic discrete-event simulation
+// kernel with lightweight processes.
+//
+// The kernel maintains a virtual clock and an event queue ordered by
+// (time, sequence number), so simulations are reproducible: two runs
+// with the same inputs execute events in exactly the same order.
+//
+// Processes are goroutines that cooperate through a baton handoff:
+// exactly one goroutine (either the kernel loop or a single process)
+// runs at any instant, which keeps the simulation deterministic without
+// locks. Processes block with Sleep, Suspend, or Chan.Recv, returning
+// control to the kernel until the corresponding wakeup event fires.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time in microseconds.
+type Time int64
+
+// Common durations in virtual microseconds.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Seconds converts a floating-point second count to a Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// ToSeconds converts t to floating-point seconds.
+func (t Time) ToSeconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.ToSeconds()) }
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator. The zero value is ready to use.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	failure interface{} // panic value propagated from a process
+}
+
+// New returns a fresh kernel with the clock at zero.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: events must not travel backwards.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, event{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative delays
+// panic.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.At(k.now+d, fn)
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Stop makes Run and RunUntil return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() { k.RunUntil(1<<62 - 1) }
+
+// RunUntil executes all events with time <= limit, then advances the
+// clock to limit (if it is not already past it). If a process panicked,
+// the panic is re-raised here on the kernel goroutine.
+func (k *Kernel) RunUntil(limit Time) {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		if k.queue[0].t > limit {
+			break
+		}
+		e := heap.Pop(&k.queue).(event)
+		k.now = e.t
+		e.fn()
+		if k.failure != nil {
+			f := k.failure
+			k.failure = nil
+			panic(f)
+		}
+	}
+	if k.now < limit && limit < 1<<62-1 {
+		k.now = limit
+	}
+}

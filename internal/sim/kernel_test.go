@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	k := New()
+	if k.Now() != 0 {
+		t.Fatalf("initial clock = %v", k.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := New()
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("final time = %v", k.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterAccumulates(t *testing.T) {
+	k := New()
+	var times []Time
+	k.After(10, func() {
+		times = append(times, k.Now())
+		k.After(5, func() { times = append(times, k.Now()) })
+	})
+	k.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	k := New()
+	ran := 0
+	k.At(10, func() { ran++ })
+	k.At(20, func() { ran++ })
+	k.RunUntil(15)
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1", ran)
+	}
+	if k.Now() != 15 {
+		t.Fatalf("clock = %v, want 15", k.Now())
+	}
+	k.Run()
+	if ran != 2 {
+		t.Fatalf("second run executed %d total", ran)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	k := New()
+	k.RunUntil(100)
+	if k.Now() != 100 {
+		t.Fatalf("clock = %v", k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New()
+	ran := 0
+	k.At(1, func() { ran++; k.Stop() })
+	k.At(2, func() { ran++ })
+	k.Run()
+	if ran != 1 {
+		t.Fatalf("Stop did not halt the loop; ran=%d", ran)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if got := (2 * Second).ToSeconds(); got != 2 {
+		t.Fatalf("ToSeconds = %v", got)
+	}
+	if Hour != 3600*Second {
+		t.Fatal("Hour constant wrong")
+	}
+	if s := (1 * Second).String(); s != "1.000000s" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: however events are scheduled, they execute in
+// non-decreasing time order and the clock never runs backwards.
+func TestQuickEventTimeMonotone(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := New()
+		var seen []Time
+		for _, d := range delays {
+			k.At(Time(d), func() { seen = append(seen, k.Now()) })
+		}
+		k.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

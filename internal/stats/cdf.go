@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function over float64
+// samples. The zero value is ready to use.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends one sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// AddN appends the sample v with multiplicity n.
+func (c *CDF) AddN(v float64, n int) {
+	for i := 0; i < n; i++ {
+		c.samples = append(c.samples, v)
+	}
+	c.sorted = false
+}
+
+// Len reports the number of samples.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) sortSamples() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns the fraction of samples <= x, i.e. CDF(x).
+// It returns 0 for an empty CDF.
+func (c *CDF) At(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sortSamples()
+	i := sort.SearchFloat64s(c.samples, x)
+	// SearchFloat64s returns the first index with samples[i] >= x;
+	// advance over equal values to count them as <= x.
+	for i < len(c.samples) && c.samples[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.samples))
+}
+
+// Quantile returns the smallest sample v such that CDF(v) >= q,
+// for q in (0, 1]. Quantile(0) returns the minimum sample.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sortSamples()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	idx := int(q*float64(len(c.samples))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.samples) {
+		idx = len(c.samples) - 1
+	}
+	return c.samples[idx]
+}
+
+// Min returns the smallest sample, or 0 if empty.
+func (c *CDF) Min() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sortSamples()
+	return c.samples[0]
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (c *CDF) Max() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sortSamples()
+	return c.samples[len(c.samples)-1]
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 if empty.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Point is one (X, F) pair of a rendered CDF curve: F is the fraction
+// of samples <= X.
+type Point struct {
+	X float64
+	F float64
+}
+
+// Curve renders the CDF at the given x positions.
+func (c *CDF) Curve(xs []float64) []Point {
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{X: x, F: c.At(x)}
+	}
+	return pts
+}
+
+// Steps returns the full empirical step curve: one point per distinct
+// sample value, in increasing order.
+func (c *CDF) Steps() []Point {
+	c.sortSamples()
+	var pts []Point
+	n := float64(len(c.samples))
+	for i := 0; i < len(c.samples); {
+		j := i
+		for j < len(c.samples) && c.samples[j] == c.samples[i] {
+			j++
+		}
+		pts = append(pts, Point{X: c.samples[i], F: float64(j) / n})
+		i = j
+	}
+	return pts
+}
+
+// LogTicks returns positions 10^lo, 2*10^lo, 5*10^lo, ... up to 10^hi,
+// the customary tick marks for the paper's log-scale CDF plots.
+func LogTicks(lo, hi int) []float64 {
+	var ticks []float64
+	for e := lo; e <= hi; e++ {
+		base := pow10(e)
+		ticks = append(ticks, base)
+		if e < hi {
+			ticks = append(ticks, 2*base, 5*base)
+		}
+	}
+	return ticks
+}
+
+func pow10(e int) float64 {
+	v := 1.0
+	for i := 0; i < e; i++ {
+		v *= 10
+	}
+	for i := 0; i > e; i-- {
+		v /= 10
+	}
+	return v
+}
+
+// FormatCurve renders points as an aligned two-column table for report
+// output, e.g. the rows behind the paper's CDF figures.
+func FormatCurve(xlabel string, pts []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%15s  %8s\n", xlabel, "CDF")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%15.0f  %8.4f\n", p.X, p.F)
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.At(0) != 0 || c.Len() != 0 || c.Mean() != 0 {
+		t.Fatal("empty CDF should report zeros")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{1, 2, 2, 3} {
+		c.Add(v)
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {2.9, 0.75}, {3, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFAddN(t *testing.T) {
+	var a, b CDF
+	a.AddN(5, 3)
+	b.Add(5)
+	b.Add(5)
+	b.Add(5)
+	if a.Len() != b.Len() || a.At(5) != b.At(5) {
+		t.Fatal("AddN(v,3) differs from three Add(v)")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if got := c.Quantile(0.5); got != 50 {
+		t.Errorf("median = %v, want 50", got)
+	}
+	if got := c.Quantile(0.01); got != 1 {
+		t.Errorf("q0.01 = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 100 {
+		t.Errorf("q1 = %v, want 100", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want min", got)
+	}
+}
+
+func TestCDFMinMaxMean(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{4, 1, 7} {
+		c.Add(v)
+	}
+	if c.Min() != 1 || c.Max() != 7 {
+		t.Fatalf("min/max = %v/%v", c.Min(), c.Max())
+	}
+	if got := c.Mean(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestCDFSteps(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{1, 1, 2, 5} {
+		c.Add(v)
+	}
+	steps := c.Steps()
+	want := []Point{{1, 0.5}, {2, 0.75}, {5, 1}}
+	if len(steps) != len(want) {
+		t.Fatalf("got %d steps, want %d", len(steps), len(want))
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Errorf("step %d = %+v, want %+v", i, steps[i], want[i])
+		}
+	}
+}
+
+func TestCDFCurve(t *testing.T) {
+	var c CDF
+	c.Add(10)
+	c.Add(20)
+	pts := c.Curve([]float64{5, 10, 25})
+	if pts[0].F != 0 || pts[1].F != 0.5 || pts[2].F != 1 {
+		t.Fatalf("curve = %+v", pts)
+	}
+}
+
+func TestLogTicks(t *testing.T) {
+	ticks := LogTicks(0, 2)
+	want := []float64{1, 2, 5, 10, 20, 50, 100}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if math.Abs(ticks[i]-want[i]) > 1e-9 {
+			t.Fatalf("tick %d = %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestLogTicksNegativeExponents(t *testing.T) {
+	ticks := LogTicks(-2, 0)
+	if math.Abs(ticks[0]-0.01) > 1e-12 {
+		t.Fatalf("first tick = %v, want 0.01", ticks[0])
+	}
+	if ticks[len(ticks)-1] != 1 {
+		t.Fatalf("last tick = %v, want 1", ticks[len(ticks)-1])
+	}
+}
+
+func TestFormatCurveContainsValues(t *testing.T) {
+	s := FormatCurve("bytes", []Point{{100, 0.5}})
+	if len(s) == 0 {
+		t.Fatal("empty format output")
+	}
+}
+
+// Property: a CDF is monotone non-decreasing and bounded by [0,1].
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(vals []float64, probes []float64) bool {
+		var c CDF
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			c.Add(v)
+		}
+		sort.Float64s(probes)
+		prev := -1.0
+		for _, x := range probes {
+			if math.IsNaN(x) {
+				continue
+			}
+			f := c.At(x)
+			if f < 0 || f > 1 || f < prev {
+				return false
+			}
+			prev = f
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF(max) == 1 for any non-empty sample set.
+func TestQuickCDFReachesOne(t *testing.T) {
+	f := func(vals []float64) bool {
+		var c CDF
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			c.Add(v)
+		}
+		if c.Len() == 0 {
+			return true
+		}
+		return c.At(c.Max()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Quantile and At are approximate inverses.
+func TestQuickQuantileInverse(t *testing.T) {
+	f := func(raw []uint16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var c CDF
+		for _, v := range raw {
+			c.Add(float64(v))
+		}
+		q := (float64(qRaw%100) + 1) / 100
+		v := c.Quantile(q)
+		return c.At(v) >= q-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasic(t *testing.T) {
+	var h Hist
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	if h.Count(1) != 2 || h.Count(3) != 1 || h.Count(2) != 0 {
+		t.Fatalf("counts wrong: %v %v %v", h.Count(1), h.Count(2), h.Count(3))
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Distinct() != 2 {
+		t.Fatalf("distinct = %d", h.Distinct())
+	}
+}
+
+func TestHistKeysSorted(t *testing.T) {
+	var h Hist
+	for _, k := range []int64{5, -2, 9, 0} {
+		h.Add(k)
+	}
+	keys := h.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+	}
+}
+
+func TestHistFraction(t *testing.T) {
+	var h Hist
+	h.AddN(7, 3)
+	h.AddN(8, 1)
+	if got := h.Fraction(7); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("fraction = %v", got)
+	}
+	var empty Hist
+	if empty.Fraction(1) != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+}
+
+func TestHistBucketed(t *testing.T) {
+	var h Hist
+	for k := int64(1); k <= 10; k++ {
+		h.Add(k)
+	}
+	// Buckets: <=2, <=4, 5+
+	got := h.Bucketed([]int64{2, 4})
+	want := []int64{2, 2, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucketed = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistFormat(t *testing.T) {
+	var h Hist
+	h.Add(4)
+	s := h.Format("nodes")
+	if !strings.Contains(s, "nodes") || !strings.Contains(s, "4") {
+		t.Fatalf("format output missing content:\n%s", s)
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 6} {
+		s.Add(v)
+	}
+	if s.N() != 3 || s.Sum() != 12 {
+		t.Fatalf("n=%d sum=%v", s.N(), s.Sum())
+	}
+	if s.Mean() != 4 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	wantVar := ((2.-4)*(2.-4) + 0 + (6.-4)*(6.-4)) / 3
+	if math.Abs(s.Var()-wantVar) > 1e-9 {
+		t.Fatalf("var = %v, want %v", s.Var(), wantVar)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(5)
+	if s.Var() != 0 {
+		t.Fatalf("variance of one observation = %v", s.Var())
+	}
+	if s.Min() != 5 || s.Max() != 5 {
+		t.Fatal("single-element min/max wrong")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	if !strings.Contains(s.String(), "n=1") {
+		t.Fatalf("string = %q", s.String())
+	}
+}
+
+// Property: Total equals the sum of counts over all keys.
+func TestQuickHistTotal(t *testing.T) {
+	f := func(keys []int16) bool {
+		var h Hist
+		for _, k := range keys {
+			h.Add(int64(k))
+		}
+		var sum int64
+		for _, k := range h.Keys() {
+			sum += h.Count(k)
+		}
+		return sum == h.Total() && h.Total() == int64(len(keys))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bucketed counts conserve the total.
+func TestQuickBucketsConserve(t *testing.T) {
+	f := func(keys []int16) bool {
+		var h Hist
+		for _, k := range keys {
+			h.Add(int64(k))
+		}
+		buckets := h.Bucketed([]int64{-100, 0, 100})
+		var sum int64
+		for _, c := range buckets {
+			sum += c
+		}
+		return sum == h.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summary mean lies within [min, max].
+func TestQuickSummaryMeanBounded(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package stats provides the small statistical toolkit used throughout
+// the CHARISMA reproduction: deterministic random number generation,
+// histograms, empirical cumulative distribution functions, and
+// summary statistics.
+//
+// All randomness in the repository flows through the RNG type defined
+// here so that studies are reproducible bit-for-bit from a seed.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (an xorshift128+ variant, seeded via splitmix64). It is not safe for
+// concurrent use; give each logical stream its own RNG via Split.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// splitmix64 advances the given state and returns the next output.
+// It is used for seeding so that nearby seeds produce unrelated streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed.
+func NewRNG(seed uint64) *RNG {
+	st := seed
+	r := &RNG{}
+	r.s0 = splitmix64(&st)
+	r.s1 = splitmix64(&st)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1 // the all-zero state is absorbing; avoid it
+	}
+	return r
+}
+
+// Split derives an independent generator from r and a stream label.
+// The parent's state is not consumed, so Split(i) is stable for a
+// given parent state.
+func (r *RNG) Split(label uint64) *RNG {
+	st := r.s0 ^ (r.s1 * 0x9e3779b97f4a7c15) ^ label
+	return NewRNG(splitmix64(&st))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int64n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int64n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNorm returns a log-normally distributed value whose underlying
+// normal has parameters mu and sigma.
+func (r *RNG) LogNorm(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Pick returns an index in [0, len(weights)) chosen with probability
+// proportional to the weights. It panics if the weights are empty or
+// sum to a non-positive value.
+func (r *RNG) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("stats: Pick with no positive weights")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("nearby seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero seed produced only %d distinct values", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	a := parent.Split(1)
+	b := parent.Split(2)
+	aAgain := parent.Split(1)
+	if a.Uint64() != aAgain.Uint64() {
+		t.Fatal("Split is not stable for the same label")
+	}
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("Split streams with different labels coincide")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(5)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v far from 0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestInt64nRange(t *testing.T) {
+	r := NewRNG(11)
+	const n = int64(1) << 40
+	for i := 0; i < 1000; i++ {
+		v := r.Int64n(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Int64n out of range: %d", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) fired at rate %v", frac)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(17)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Exp(10)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.3 {
+		t.Fatalf("Exp(10) mean %v", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(19)
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		s.Add(r.Norm(5, 2))
+	}
+	if math.Abs(s.Mean()-5) > 0.05 {
+		t.Fatalf("Norm mean %v", s.Mean())
+	}
+	if math.Abs(s.Stddev()-2) > 0.05 {
+		t.Fatalf("Norm stddev %v", s.Stddev())
+	}
+}
+
+func TestLogNormPositive(t *testing.T) {
+	r := NewRNG(23)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNorm(10, 1); v <= 0 {
+			t.Fatalf("LogNorm returned %v", v)
+		}
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	r := NewRNG(29)
+	counts := make([]int, 3)
+	weights := []float64{1, 2, 7}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("weight %d: got frequency %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestPickPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick with zero weights did not panic")
+		}
+	}()
+	NewRNG(1).Pick([]float64{0, 0})
+}
+
+func TestPickNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick with a negative weight did not panic")
+		}
+	}()
+	NewRNG(1).Pick([]float64{1, -1})
+}
+
+// Property: Intn always lands in range for arbitrary seeds and sizes.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the generator never gets stuck emitting one value.
+func TestQuickNoFixedPoint(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		first := r.Uint64()
+		for i := 0; i < 20; i++ {
+			if r.Uint64() != first {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package trace
+
+// Collector models the data-collection process that ran on the
+// iPSC/860 service node: it receives blocks of event records from
+// compute nodes, stamps each with its own clock on arrival, and
+// accumulates them into a trace. The real collector wrote to CFS in
+// large sequential writes; here the trace lives in memory and can be
+// serialized with WriteTo (see file.go).
+type Collector struct {
+	clock  Clock
+	header Header
+	blocks []Block
+}
+
+// NewCollector returns a collector using the given clock (normally the
+// service node's drifting clock) and trace header.
+func NewCollector(clock Clock, header Header) *Collector {
+	return &Collector{clock: clock, header: header}
+}
+
+// Deliver receives one block from the network, stamping its arrival
+// time with the collector's clock.
+func (c *Collector) Deliver(b Block) {
+	b.RecvCollector = int64(c.clock.Now())
+	c.blocks = append(c.blocks, b)
+}
+
+// Header returns the trace header.
+func (c *Collector) Header() Header { return c.header }
+
+// Blocks returns the collected blocks in arrival order.
+func (c *Collector) Blocks() []Block { return c.blocks }
+
+// EventCount returns the total number of collected event records.
+func (c *Collector) EventCount() int64 {
+	var n int64
+	for _, b := range c.blocks {
+		n += int64(len(b.Events))
+	}
+	return n
+}
+
+// Trace bundles a header with collected blocks; it is what the
+// postprocessor and the file reader/writer operate on.
+type Trace struct {
+	Header Header
+	Blocks []Block
+}
+
+// Trace returns the collected trace.
+func (c *Collector) Trace() *Trace {
+	return &Trace{Header: c.header, Blocks: c.blocks}
+}

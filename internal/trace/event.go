@@ -1,0 +1,184 @@
+// Package trace implements the CHARISMA trace format and collection
+// pipeline described in Section 3 of the paper: fixed-size binary
+// event records for every file-system call and job transition,
+// buffered in a 4 KB buffer on each compute node, shipped to a
+// collector on the service node which double-timestamps each block,
+// and post-processed (clock-drift correction, chronological sort)
+// before analysis.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EventType identifies the kind of an event record.
+type EventType uint8
+
+// Event types. JobStart/JobEnd are recorded for every job through a
+// separate mechanism (even jobs whose CFS library was not
+// instrumented); the remaining types are emitted by the instrumented
+// CFS library.
+const (
+	EvInvalid  EventType = iota
+	EvJobStart           // Size = number of compute nodes; Flags&FlagInstrumented if traced
+	EvJobEnd
+	EvOpen  // Mode = CFS I/O mode; Flags = access intent
+	EvClose // Size = file size at close
+	EvRead  // Offset, Size of the request
+	EvWrite // Offset, Size of the request
+	EvSeek  // Offset = new file pointer
+	EvDelete
+	// EvReadStrided and EvWriteStrided are the extension the paper's
+	// conclusions call for: one request expressing a regular record
+	// size and interval. Size = record bytes, Stride = distance
+	// between record starts, Count = number of records.
+	EvReadStrided
+	EvWriteStrided
+	evMax
+)
+
+// String returns the type name.
+func (t EventType) String() string {
+	switch t {
+	case EvJobStart:
+		return "JobStart"
+	case EvJobEnd:
+		return "JobEnd"
+	case EvOpen:
+		return "Open"
+	case EvClose:
+		return "Close"
+	case EvRead:
+		return "Read"
+	case EvWrite:
+		return "Write"
+	case EvSeek:
+		return "Seek"
+	case EvDelete:
+		return "Delete"
+	case EvReadStrided:
+		return "ReadStrided"
+	case EvWriteStrided:
+		return "WriteStrided"
+	default:
+		return fmt.Sprintf("EventType(%d)", uint8(t))
+	}
+}
+
+// Flag bits for Event.Flags.
+const (
+	FlagRead         = 1 << 0 // open requested read access
+	FlagWrite        = 1 << 1 // open requested write access
+	FlagCreate       = 1 << 2 // open created the file
+	FlagInstrumented = 1 << 3 // job start: job linked the traced library
+)
+
+// Event is one CHARISMA trace record. Timestamps are in the recording
+// node's local clock until postprocessing maps them onto the
+// collector's timebase.
+type Event struct {
+	Time   int64  // local-clock timestamp, microseconds
+	File   uint64 // global file identity (0 when not applicable)
+	Offset int64
+	Size   int64
+	Stride int64  // strided requests: distance between record starts
+	Count  uint32 // strided requests: number of records
+	Job    uint32
+	Node   uint16
+	Type   EventType
+	Mode   uint8 // CFS I/O mode at open (0-3)
+	Flags  uint8
+}
+
+// EventSize is the fixed encoded size of an Event in bytes.
+const EventSize = 53
+
+// Encode writes the event into buf, which must have room for EventSize
+// bytes, and returns EventSize.
+func (e *Event) Encode(buf []byte) int {
+	_ = buf[EventSize-1] // bounds hint
+	binary.LittleEndian.PutUint64(buf[0:], uint64(e.Time))
+	binary.LittleEndian.PutUint64(buf[8:], e.File)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(e.Offset))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(e.Size))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(e.Stride))
+	binary.LittleEndian.PutUint32(buf[40:], e.Count)
+	binary.LittleEndian.PutUint32(buf[44:], e.Job)
+	binary.LittleEndian.PutUint16(buf[48:], e.Node)
+	buf[50] = uint8(e.Type)
+	buf[51] = e.Mode
+	buf[52] = e.Flags
+	return EventSize
+}
+
+// Decode reads an event from buf, which must hold at least EventSize
+// bytes. It returns an error for unknown event types so corrupted
+// traces fail loudly.
+func (e *Event) Decode(buf []byte) error {
+	if len(buf) < EventSize {
+		return fmt.Errorf("trace: short event record: %d bytes", len(buf))
+	}
+	e.Time = int64(binary.LittleEndian.Uint64(buf[0:]))
+	e.File = binary.LittleEndian.Uint64(buf[8:])
+	e.Offset = int64(binary.LittleEndian.Uint64(buf[16:]))
+	e.Size = int64(binary.LittleEndian.Uint64(buf[24:]))
+	e.Stride = int64(binary.LittleEndian.Uint64(buf[32:]))
+	e.Count = binary.LittleEndian.Uint32(buf[40:])
+	e.Job = binary.LittleEndian.Uint32(buf[44:])
+	e.Node = binary.LittleEndian.Uint16(buf[48:])
+	e.Type = EventType(buf[50])
+	e.Mode = buf[51]
+	e.Flags = buf[52]
+	if e.Type == EvInvalid || e.Type >= evMax {
+		return fmt.Errorf("trace: unknown event type %d", buf[50])
+	}
+	return nil
+}
+
+// IsData reports whether the event is a data-transfer request.
+func (e *Event) IsData() bool {
+	switch e.Type {
+	case EvRead, EvWrite, EvReadStrided, EvWriteStrided:
+		return true
+	}
+	return false
+}
+
+// IsStrided reports whether the event is a strided request.
+func (e *Event) IsStrided() bool {
+	return e.Type == EvReadStrided || e.Type == EvWriteStrided
+}
+
+// IsWriteOp reports whether the event moves data toward the disk.
+func (e *Event) IsWriteOp() bool {
+	return e.Type == EvWrite || e.Type == EvWriteStrided
+}
+
+// Bytes returns the total payload of the request (all records for a
+// strided request).
+func (e *Event) Bytes() int64 {
+	if e.IsStrided() {
+		return e.Size * int64(e.Count)
+	}
+	return e.Size
+}
+
+// Records calls fn with the byte range of each record in the request:
+// one range for a plain read or write, Count ranges for a strided
+// request.
+func (e *Event) Records(fn func(off, size int64)) {
+	if !e.IsStrided() {
+		fn(e.Offset, e.Size)
+		return
+	}
+	for i := int64(0); i < int64(e.Count); i++ {
+		fn(e.Offset+i*e.Stride, e.Size)
+	}
+}
+
+// String renders the event for debugging.
+func (e *Event) String() string {
+	return fmt.Sprintf("%s t=%d node=%d job=%d file=%d off=%d size=%d mode=%d flags=%#x",
+		e.Type, e.Time, e.Node, e.Job, e.File, e.Offset, e.Size, e.Mode, e.Flags)
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventRoundTrip(t *testing.T) {
+	in := Event{
+		Time:   123456789,
+		File:   0xdeadbeef,
+		Offset: -1, // seeks can be relative in principle; codec must keep sign
+		Size:   1 << 40,
+		Job:    42,
+		Node:   127,
+		Type:   EvWrite,
+		Mode:   3,
+		Flags:  FlagRead | FlagWrite,
+	}
+	var buf [EventSize]byte
+	if n := in.Encode(buf[:]); n != EventSize {
+		t.Fatalf("encode returned %d", n)
+	}
+	var out Event
+	if err := out.Decode(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestDecodeRejectsShortBuffer(t *testing.T) {
+	var e Event
+	if err := e.Decode(make([]byte, EventSize-1)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestDecodeRejectsUnknownType(t *testing.T) {
+	var buf [EventSize]byte
+	ev := Event{Type: EvRead}
+	ev.Encode(buf[:])
+	buf[50] = 200 // corrupt the type byte
+	var out Event
+	if err := out.Decode(buf[:]); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	buf[50] = 0 // EvInvalid
+	if err := out.Decode(buf[:]); err == nil {
+		t.Fatal("EvInvalid accepted")
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	names := map[EventType]string{
+		EvJobStart: "JobStart", EvJobEnd: "JobEnd", EvOpen: "Open",
+		EvClose: "Close", EvRead: "Read", EvWrite: "Write",
+		EvSeek: "Seek", EvDelete: "Delete",
+	}
+	for ty, want := range names {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)
+		}
+	}
+	if !strings.Contains(EventType(99).String(), "99") {
+		t.Error("unknown type string should include the raw value")
+	}
+}
+
+func TestIsData(t *testing.T) {
+	if !(&Event{Type: EvRead}).IsData() || !(&Event{Type: EvWrite}).IsData() {
+		t.Fatal("read/write should be data events")
+	}
+	if (&Event{Type: EvOpen}).IsData() {
+		t.Fatal("open is not a data event")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Type: EvRead, Node: 5, File: 7, Offset: 100, Size: 200}
+	s := e.String()
+	for _, frag := range []string{"Read", "node=5", "file=7", "off=100", "size=200"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+// Property: encode/decode is the identity on valid events.
+func TestQuickEventRoundTrip(t *testing.T) {
+	f := func(timeV int64, file uint64, off, size int64, job uint32, node uint16, tyRaw, mode, flags uint8) bool {
+		in := Event{
+			Time: timeV, File: file, Offset: off, Size: size,
+			Job: job, Node: node,
+			Type:  EventType(tyRaw%uint8(evMax-1)) + 1,
+			Mode:  mode,
+			Flags: flags,
+		}
+		var buf [EventSize]byte
+		in.Encode(buf[:])
+		var out Event
+		if err := out.Decode(buf[:]); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStridedEventHelpers(t *testing.T) {
+	ev := Event{Type: EvReadStrided, Offset: 1000, Size: 100, Stride: 500, Count: 4}
+	if !ev.IsData() || !ev.IsStrided() || ev.IsWriteOp() {
+		t.Fatal("strided read classification wrong")
+	}
+	if ev.Bytes() != 400 {
+		t.Fatalf("bytes = %d", ev.Bytes())
+	}
+	var offs []int64
+	ev.Records(func(off, size int64) {
+		if size != 100 {
+			t.Fatalf("record size %d", size)
+		}
+		offs = append(offs, off)
+	})
+	want := []int64{1000, 1500, 2000, 2500}
+	if len(offs) != len(want) {
+		t.Fatalf("records = %v", offs)
+	}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("records = %v", offs)
+		}
+	}
+
+	w := Event{Type: EvWriteStrided, Size: 10, Count: 2, Stride: 20}
+	if !w.IsWriteOp() {
+		t.Fatal("strided write should be a write op")
+	}
+	plain := Event{Type: EvRead, Offset: 7, Size: 3}
+	if plain.Bytes() != 3 {
+		t.Fatal("plain bytes wrong")
+	}
+	n := 0
+	plain.Records(func(off, size int64) { n++ })
+	if n != 1 {
+		t.Fatal("plain read should have one record")
+	}
+}
+
+func TestStridedRoundTrip(t *testing.T) {
+	in := Event{Type: EvWriteStrided, Offset: 4096, Size: 512, Stride: 8192, Count: 99, File: 3, Job: 9, Node: 12}
+	var buf [EventSize]byte
+	in.Encode(buf[:])
+	var out Event
+	if err := out.Decode(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}

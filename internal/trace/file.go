@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic begins every CHARISMA trace file, making it self-descriptive
+// as the paper requires.
+const Magic = "CHARISMA"
+
+// Version of the on-disk format.
+const Version = 1
+
+// Header describes the traced machine and tracing configuration; it
+// makes each trace file self-descriptive.
+type Header struct {
+	ComputeNodes uint16 // 128 on the NAS iPSC/860
+	IONodes      uint16 // 10
+	BlockBytes   uint32 // CFS striping unit: 4096
+	BufferBytes  uint32 // per-node trace buffer: 4096
+	Seed         uint64 // workload seed (synthetic traces)
+}
+
+const headerSize = 8 + 2 + 2 + 2 + 4 + 4 + 8 // magic + version + fields
+
+func (h *Header) encode(buf []byte) {
+	copy(buf[0:8], Magic)
+	binary.LittleEndian.PutUint16(buf[8:], Version)
+	binary.LittleEndian.PutUint16(buf[10:], h.ComputeNodes)
+	binary.LittleEndian.PutUint16(buf[12:], h.IONodes)
+	binary.LittleEndian.PutUint32(buf[14:], h.BlockBytes)
+	binary.LittleEndian.PutUint32(buf[18:], h.BufferBytes)
+	binary.LittleEndian.PutUint64(buf[22:], h.Seed)
+}
+
+func (h *Header) decode(buf []byte) error {
+	if string(buf[0:8]) != Magic {
+		return fmt.Errorf("trace: bad magic %q", buf[0:8])
+	}
+	if v := binary.LittleEndian.Uint16(buf[8:]); v != Version {
+		return fmt.Errorf("trace: unsupported version %d", v)
+	}
+	h.ComputeNodes = binary.LittleEndian.Uint16(buf[10:])
+	h.IONodes = binary.LittleEndian.Uint16(buf[12:])
+	h.BlockBytes = binary.LittleEndian.Uint32(buf[14:])
+	h.BufferBytes = binary.LittleEndian.Uint32(buf[18:])
+	h.Seed = binary.LittleEndian.Uint64(buf[22:])
+	return nil
+}
+
+const blockHeaderSize = 2 + 4 + 8 + 8 // node + count + sendLocal + recvCollector
+
+// WriteTo serializes the trace. The layout is:
+//
+//	header | block*
+//
+// where each block is a small header (node, record count, the two
+// drift-correction timestamps) followed by its fixed-size event
+// records.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	var hbuf [headerSize]byte
+	t.Header.encode(hbuf[:])
+	n, err := bw.Write(hbuf[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	var bbuf [blockHeaderSize]byte
+	var ebuf [EventSize]byte
+	for _, blk := range t.Blocks {
+		binary.LittleEndian.PutUint16(bbuf[0:], blk.Node)
+		binary.LittleEndian.PutUint32(bbuf[2:], uint32(len(blk.Events)))
+		binary.LittleEndian.PutUint64(bbuf[6:], uint64(blk.SendLocal))
+		binary.LittleEndian.PutUint64(bbuf[14:], uint64(blk.RecvCollector))
+		n, err = bw.Write(bbuf[:])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		for i := range blk.Events {
+			blk.Events[i].Encode(ebuf[:])
+			n, err = bw.Write(ebuf[:])
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read parses a trace file produced by WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hbuf [headerSize]byte
+	if _, err := io.ReadFull(br, hbuf[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	t := &Trace{}
+	if err := t.Header.decode(hbuf[:]); err != nil {
+		return nil, err
+	}
+	var bbuf [blockHeaderSize]byte
+	var ebuf [EventSize]byte
+	for {
+		if _, err := io.ReadFull(br, bbuf[:]); err != nil {
+			if err == io.EOF {
+				return t, nil
+			}
+			return nil, fmt.Errorf("trace: reading block header: %w", err)
+		}
+		blk := Block{
+			Node:          binary.LittleEndian.Uint16(bbuf[0:]),
+			SendLocal:     int64(binary.LittleEndian.Uint64(bbuf[6:])),
+			RecvCollector: int64(binary.LittleEndian.Uint64(bbuf[14:])),
+		}
+		count := binary.LittleEndian.Uint32(bbuf[2:])
+		blk.Events = make([]Event, count)
+		for i := uint32(0); i < count; i++ {
+			if _, err := io.ReadFull(br, ebuf[:]); err != nil {
+				return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+			}
+			if err := blk.Events[i].Decode(ebuf[:]); err != nil {
+				return nil, err
+			}
+		}
+		t.Blocks = append(t.Blocks, blk)
+	}
+}

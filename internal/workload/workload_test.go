@@ -1,0 +1,332 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// runScaled generates and runs a study at the given scale and returns
+// the analysis report.
+func runScaled(t *testing.T, seed uint64, scale float64) (*analysis.Report, *machine.Machine) {
+	t.Helper()
+	k := sim.New()
+	m := machine.New(k, machine.NASConfig(seed))
+	p := Default(seed)
+	p.Scale = scale
+	gen := NewGenerator(p)
+	horizon := gen.Install(m)
+	k.Run()
+	tr := m.FinishTracing()
+	events := trace.Postprocess(tr)
+	return analysis.Analyze(tr.Header, events, horizon), m
+}
+
+func TestGeneratorRejectsZeroScale(t *testing.T) {
+	p := Default(1)
+	p.Scale = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero scale did not panic")
+		}
+	}()
+	NewGenerator(p)
+}
+
+func TestHorizonScaling(t *testing.T) {
+	full := Default(1)
+	g := NewGenerator(full)
+	if g.Horizon() != sim.Time(156*float64(sim.Hour)) {
+		t.Fatalf("full horizon = %v", g.Horizon())
+	}
+	small := Default(1)
+	small.Scale = 0.001
+	if NewGenerator(small).Horizon() < 4*sim.Hour {
+		t.Fatal("horizon floor violated")
+	}
+}
+
+func TestRecordSizeDistribution(t *testing.T) {
+	rng := stats.NewRNG(7)
+	small, large := 0, 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		sz := recordSize(rng)
+		if sz <= 0 {
+			t.Fatalf("non-positive record size %d", sz)
+		}
+		if sz < 4000 {
+			small++
+		}
+		if sz > 16384 {
+			large++
+		}
+	}
+	if frac := float64(small) / n; frac < 0.7 || frac > 0.95 {
+		t.Fatalf("small-record fraction = %v, want mostly small", frac)
+	}
+	if large > 0 {
+		t.Fatal("record sizes should stay moderate")
+	}
+}
+
+func TestSmallStudyRuns(t *testing.T) {
+	r, m := runScaled(t, 42, 0.02)
+	if r.TotalJobs == 0 {
+		t.Fatal("no jobs ran")
+	}
+	if r.FilesOpened == 0 || r.TotalOpens == 0 {
+		t.Fatal("no files opened")
+	}
+	if m.TraceRecords() == 0 {
+		t.Fatal("no trace records")
+	}
+	if m.RunningJobs() != 0 || m.QueuedJobs() != 0 {
+		t.Fatal("jobs left behind")
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	a, _ := runScaled(t, 99, 0.02)
+	b, _ := runScaled(t, 99, 0.02)
+	if a.TotalJobs != b.TotalJobs || a.FilesOpened != b.FilesOpened ||
+		a.TotalOpens != b.TotalOpens ||
+		a.ReadCountBySize.Len() != b.ReadCountBySize.Len() {
+		t.Fatal("same seed produced different studies")
+	}
+	if a.SmallReadFrac != b.SmallReadFrac {
+		t.Fatal("request-size distributions differ between identical runs")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, _ := runScaled(t, 1, 0.02)
+	b, _ := runScaled(t, 2, 0.02)
+	if a.ReadCountBySize.Len() == b.ReadCountBySize.Len() &&
+		a.TotalOpens == b.TotalOpens {
+		t.Fatal("different seeds produced identical studies (suspicious)")
+	}
+}
+
+// The calibration tests below assert the qualitative shapes of the
+// paper's findings at a modest scale. Bands are generous: the point is
+// that the structure cannot silently drift, not that the sample noise
+// is zero.
+func TestCalibrationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration study is slow")
+	}
+	r, _ := runScaled(t, 42, 0.1)
+
+	// Job mix: single-node jobs dominate the population.
+	if frac := float64(r.SingleNodeJobs) / float64(r.TotalJobs); frac < 0.6 || frac > 0.85 {
+		t.Errorf("single-node job fraction = %v, want ~0.74", frac)
+	}
+	// Figure 1: the machine is idle a nontrivial fraction of the time
+	// and runs multiple jobs a nontrivial fraction.
+	if idle := r.IdlePct(); idle < 10 || idle > 60 {
+		t.Errorf("idle = %v%%, want ~27%%", idle)
+	}
+	if multi := r.MultiJobPct(); multi < 10 || multi > 60 {
+		t.Errorf("multi-job = %v%%, want ~35%%", multi)
+	}
+	// Figure 2: large jobs dominate node-time even though small jobs
+	// dominate the count.
+	var bigNT, totalNT float64
+	for nodes, nt := range r.NodeTime {
+		totalNT += nt
+		if nodes >= 16 {
+			bigNT += nt
+		}
+	}
+	if bigNT/totalNT < 0.7 {
+		t.Errorf("big-job node-time share = %v, want dominant", bigNT/totalNT)
+	}
+	// Section 4.2: write-only files dominate; read-write and untouched
+	// are small minorities.
+	total := float64(r.FilesOpened)
+	if f := float64(r.FilesByClass[analysis.WriteOnly]) / total; f < 0.55 || f > 0.85 {
+		t.Errorf("write-only fraction = %v, want ~0.70", f)
+	}
+	if f := float64(r.FilesByClass[analysis.ReadOnly]) / total; f < 0.12 || f > 0.35 {
+		t.Errorf("read-only fraction = %v, want ~0.23", f)
+	}
+	if f := float64(r.FilesByClass[analysis.ReadWrite]) / total; f > 0.10 {
+		t.Errorf("read-write fraction = %v, want small", f)
+	}
+	// Temporary files are rare.
+	if r.TempOpenFraction > 0.02 {
+		t.Errorf("temp open fraction = %v, want <2%%", r.TempOpenFraction)
+	}
+	// Figure 4: the vast majority of reads are small but move a
+	// minority of the data.
+	if r.SmallReadFrac < 0.85 {
+		t.Errorf("small-read fraction = %v, want >0.9", r.SmallReadFrac)
+	}
+	if r.SmallReadData > 0.35 {
+		t.Errorf("small-read data fraction = %v, want small", r.SmallReadData)
+	}
+	if r.SmallWriteFrac < 0.80 {
+		t.Errorf("small-write fraction = %v, want ~0.9", r.SmallWriteFrac)
+	}
+	if r.SmallWriteData > 0.25 {
+		t.Errorf("small-write data fraction = %v, want ~3%%", r.SmallWriteData)
+	}
+	// Figures 5/6: read-only and write-only files are almost all 100%
+	// sequential; write-only files are mostly 100% consecutive while
+	// read-only files mostly are not.
+	if f := 1 - r.SeqPct[analysis.ReadOnly].At(99); f < 0.9 {
+		t.Errorf("RO files 100%% sequential = %v, want ~1", f)
+	}
+	woCons := 1 - r.ConsPct[analysis.WriteOnly].At(99)
+	if woCons < 0.7 {
+		t.Errorf("WO files 100%% consecutive = %v, want ~0.86", woCons)
+	}
+	roCons := 1 - r.ConsPct[analysis.ReadOnly].At(99)
+	if roCons > 0.6 {
+		t.Errorf("RO files 100%% consecutive = %v, want ~0.29", roCons)
+	}
+	// Table 2: files overwhelmingly use zero or one interval size, and
+	// one-interval files are overwhelmingly consecutive.
+	zeroOrOne := r.IntervalHist.Fraction(0) + r.IntervalHist.Fraction(1)
+	if zeroOrOne < 0.85 {
+		t.Errorf("0/1-interval fraction = %v, want ~0.95", zeroOrOne)
+	}
+	if r.OneIntervalZeroFrac < 0.9 {
+		t.Errorf("1-interval-zero fraction = %v, want >0.99", r.OneIntervalZeroFrac)
+	}
+	// Table 3: one or two request sizes dominate.
+	oneOrTwo := r.ReqSizeHist.Fraction(1) + r.ReqSizeHist.Fraction(2)
+	if oneOrTwo < 0.75 {
+		t.Errorf("1/2-size fraction = %v, want ~0.91", oneOrTwo)
+	}
+	// Section 4.6: mode 0 overwhelmingly dominates.
+	var opens int64
+	for _, n := range r.ModeOpens {
+		opens += n
+	}
+	if float64(r.ModeOpens[0])/float64(opens) < 0.99 {
+		t.Errorf("mode-0 fraction = %v, want >0.99", float64(r.ModeOpens[0])/float64(opens))
+	}
+	// Figure 7: write-only files shared across nodes share almost
+	// nothing; a solid majority of read-only bytes are shared.
+	if r.ByteSharing[analysis.WriteOnly].Len() > 0 {
+		if at0 := r.ByteSharing[analysis.WriteOnly].At(0); at0 < 0.8 {
+			t.Errorf("WO files with 0%% bytes shared = %v, want ~0.9", at0)
+		}
+	}
+	if r.ByteSharing[analysis.ReadOnly].Len() > 0 {
+		fullyShared := 1 - r.ByteSharing[analysis.ReadOnly].At(99)
+		if fullyShared < 0.35 {
+			t.Errorf("RO files 100%% byte-shared = %v, want ~0.7", fullyShared)
+		}
+	}
+}
+
+func TestArchetypeJobShapes(t *testing.T) {
+	// Each archetype must produce a runnable JobSpec with sane node
+	// counts and the intended tracing flag.
+	rng := stats.NewRNG(5)
+	cases := []struct {
+		name   string
+		spec   machine.JobSpec
+		traced bool
+	}{
+		{"CFDSim", CFDSim(rng, 1, 8, "/m", []string{"/s"}, "", []string{"/b"}), true},
+		{"RestartRun", RestartRun(rng, 2, "/r"), true},
+		{"ParamStudy", ParamStudy(rng, 3, 4, "/in"), true},
+		{"Checkpoint", Checkpoint(rng, 4, 8), true},
+		{"RowPadded", RowPaddedReader(rng, 5, 4, "/f"), true},
+		{"Scratch", Scratch(rng, 6, 2), true},
+		{"BulkDump", BulkDump(rng, 7, 4), true},
+		{"LegacyShared", LegacyShared(rng, 8, 4, "/f"), true},
+		{"SingleReader", SingleReader(rng, 9, "/f"), true},
+		{"StatusCheck", StatusCheck(), false},
+		{"SystemUtil", SystemUtil(rng, 10), false},
+		{"UntracedParallel", UntracedParallel(rng, 11, 8, []string{"/s"}, ""), false},
+	}
+	for _, tc := range cases {
+		if tc.spec.Nodes <= 0 {
+			t.Errorf("%s: nodes = %d", tc.name, tc.spec.Nodes)
+		}
+		if tc.spec.Traced != tc.traced {
+			t.Errorf("%s: traced = %v, want %v", tc.name, tc.spec.Traced, tc.traced)
+		}
+		if tc.spec.Body == nil {
+			t.Errorf("%s: nil body", tc.name)
+		}
+	}
+}
+
+func TestScratchLeavesNoFiles(t *testing.T) {
+	// Scratch jobs must delete everything they create.
+	k := sim.New()
+	m := machine.New(k, machine.NASConfig(3))
+	rng := stats.NewRNG(3)
+	m.Submit(Scratch(rng, 1, 2))
+	k.Run()
+	fs := m.FS()
+	for r := 0; r < 2; r++ {
+		for _, pat := range []string{"/job1/work.", "/job1/sort."} {
+			name := pat + string(rune('0'+r))
+			if fs.Exists(name) {
+				t.Errorf("scratch file %s survived", name)
+			}
+		}
+	}
+}
+
+func TestLegacySharedUsesSharedModes(t *testing.T) {
+	k := sim.New()
+	m := machine.New(k, machine.NASConfig(4))
+	if _, err := m.FS().Preload("/data", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(11)
+	m.Submit(LegacyShared(rng, 1, 4, "/data"))
+	k.Run()
+	fs := m.FS()
+	shared := fs.ModeCount(1) + fs.ModeCount(3)
+	if shared == 0 {
+		t.Fatal("legacy job did not use a shared-pointer mode")
+	}
+}
+
+func TestMultiNodeCountIsPowerOfTwo(t *testing.T) {
+	g := NewGenerator(Default(5))
+	rng := stats.NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		n := g.multiNodeCount(rng)
+		if n < 2 || n > 128 || n&(n-1) != 0 {
+			t.Fatalf("bad node count %d", n)
+		}
+	}
+}
+
+func TestArrivalWithinHorizon(t *testing.T) {
+	g := NewGenerator(Default(6))
+	rng := stats.NewRNG(6)
+	horizon := g.Horizon()
+	for i := 0; i < 1000; i++ {
+		at := g.arrival(rng, horizon)
+		if at < 0 || at >= horizon {
+			t.Fatalf("arrival %v outside [0,%v)", at, horizon)
+		}
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	if scaled(0, 0.5) != 0 {
+		t.Fatal("scaled(0) should stay 0")
+	}
+	if scaled(100, 0.5) != 50 {
+		t.Fatal("scaled(100, 0.5) != 50")
+	}
+	if scaled(1, 0.001) != 1 {
+		t.Fatal("scaled should floor at 1 for non-zero counts")
+	}
+}
