@@ -509,6 +509,17 @@ func BenchmarkFullStudyTiny(b *testing.B) {
 	}
 }
 
+// BenchmarkRunStudy times the shared study itself (seed 42, scale
+// 0.05): the end-to-end simulate+trace+postprocess+analyze pipeline
+// every figure benchmark depends on. This is the headline number for
+// hot-path optimization work; see PERFORMANCE.md.
+func BenchmarkRunStudy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.RunStudy(core.DefaultConfig(42, benchScale))
+	}
+}
+
 // --- Machine-level regression guards ------------------------------------
 
 func BenchmarkMachineJobThroughput(b *testing.B) {

@@ -1,0 +1,114 @@
+package cfs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type benchTransport struct{}
+
+func (benchTransport) ToIONode(_, _, _ int) sim.Time   { return 100 * sim.Microsecond }
+func (benchTransport) FromIONode(_, _, _ int) sim.Time { return 100 * sim.Microsecond }
+
+// benchFS returns a file system preloaded with one large file.
+func benchFS(b *testing.B, size int64) *FileSystem {
+	b.Helper()
+	k := sim.New()
+	fs := New(k, DefaultConfig(), benchTransport{})
+	if _, err := fs.Preload("/data", size); err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+// BenchmarkTransferSequential measures Handle.transfer on the pattern
+// the paper found dominant: sequential whole-file reads in small
+// requests. Each request touches one I/O node.
+func BenchmarkTransferSequential(b *testing.B) {
+	const fileSize = 1 << 24 // 16 MB
+	fs := benchFS(b, fileSize)
+	k := fs.k
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	k.Spawn("reader", func(p *sim.Proc) {
+		c := NewClient(fs, 1, 0, nil)
+		h, err := c.Open(p, "/data", ORdOnly, Mode0)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < b.N; i++ {
+			off := (int64(i) * 4096) % fileSize
+			if _, err := h.ReadAt(p, off, 4096); err != nil {
+				panic(err)
+			}
+			done++
+		}
+		h.Close(p)
+	})
+	k.Run()
+	if done != b.N {
+		b.Fatalf("completed %d of %d reads", done, b.N)
+	}
+}
+
+// BenchmarkTransferStrided measures Handle.transfer on large requests
+// that span every I/O node (one batch per node per call), the worst
+// case for the per-call batching structures.
+func BenchmarkTransferStrided(b *testing.B) {
+	const fileSize = 1 << 24
+	const span = 40 * 4096 // 10 I/O nodes x 4 blocks each
+	fs := benchFS(b, fileSize)
+	k := fs.k
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	k.Spawn("reader", func(p *sim.Proc) {
+		c := NewClient(fs, 1, 0, nil)
+		h, err := c.Open(p, "/data", ORdOnly, Mode0)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < b.N; i++ {
+			off := (int64(i) * span) % (fileSize - span)
+			if _, err := h.ReadAt(p, off, span); err != nil {
+				panic(err)
+			}
+			done++
+		}
+		h.Close(p)
+	})
+	k.Run()
+	if done != b.N {
+		b.Fatalf("completed %d of %d reads", done, b.N)
+	}
+}
+
+// BenchmarkTransferWrite measures the allocating write path, which also
+// exercises block allocation on first touch.
+func BenchmarkTransferWrite(b *testing.B) {
+	k := sim.New()
+	fs := New(k, DefaultConfig(), benchTransport{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	k.Spawn("writer", func(p *sim.Proc) {
+		c := NewClient(fs, 1, 0, nil)
+		h, err := c.Open(p, "/out", OWrOnly|OCreate, Mode0)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Write(p, 1024); err != nil {
+				panic(err)
+			}
+			done++
+		}
+		h.Close(p)
+	})
+	k.Run()
+	if done != b.N {
+		b.Fatalf("completed %d of %d writes", done, b.N)
+	}
+}

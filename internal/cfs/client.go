@@ -19,6 +19,12 @@ type Client struct {
 	job    uint32
 	node   int
 	tracer Tracer
+
+	// Transfer scratch state, reusable because a client's calls are
+	// serialized on its node's process (transfer blocks until the last
+	// response arrives). Indexed by I/O-node id; sized at first use.
+	dispatches []ioDispatch
+	wg         sim.WaitGroup
 }
 
 // NewClient returns the CFS client for a (job, node) pair. The tracer
@@ -28,6 +34,54 @@ func NewClient(fs *FileSystem, job uint32, node int, tracer Tracer) *Client {
 		tracer = NopTracer{}
 	}
 	return &Client{fs: fs, job: job, node: node, tracer: tracer}
+}
+
+// ioDispatch is the per-I/O-node leg of one transfer: the request
+// batch, its timing, and two closures bound once at initialization so
+// scheduling the request and response events never allocates.
+type ioDispatch struct {
+	c         *Client
+	io        *IONode
+	batch     []blockRequest
+	bytes     int64    // payload bytes of this call that this node owns
+	arrival   sim.Time // request arrival at the I/O node
+	respBytes int
+	sendFn    func() // runs at arrival: serve the batch, schedule response
+	doneFn    func() // runs when the response reaches the compute node
+}
+
+// send runs at the I/O node when the request message arrives.
+func (d *ioDispatch) send() {
+	fs := d.c.fs
+	done := d.io.serve(d.arrival, d.batch)
+	fs.k.At(done+fs.tp.FromIONode(d.io.id, d.c.node, d.respBytes), d.doneFn)
+}
+
+// finish runs at the compute node when the response arrives.
+func (d *ioDispatch) finish() { d.c.wg.Done() }
+
+// scratch returns the client's per-I/O-node dispatch table, building
+// it on first use (the node count is fixed at mount time).
+func (c *Client) scratch() []ioDispatch {
+	if c.dispatches == nil {
+		nio := c.fs.cfg.IONodes
+		c.dispatches = make([]ioDispatch, nio)
+		// One shared backing array seeds every node's batch (requests
+		// are overwhelmingly small, so most batches hold one or two
+		// blocks); a batch that outgrows its window reallocates
+		// independently thanks to the capacity-limited slicing.
+		const seedCap = 4
+		backing := make([]blockRequest, nio*seedCap)
+		for i := range c.dispatches {
+			d := &c.dispatches[i]
+			d.c = c
+			d.io = c.fs.ionodes[i]
+			d.batch = backing[i*seedCap : i*seedCap : (i+1)*seedCap]
+			d.sendFn = d.send
+			d.doneFn = d.finish
+		}
+	}
+	return c.dispatches
 }
 
 // Handle is an open file descriptor on one node.
@@ -282,23 +336,29 @@ func (h *Handle) writeAt(p *sim.Proc, off, size int64) (int64, error) {
 func (h *Handle) transfer(p *sim.Proc, off, n int64, isWrite bool) {
 	fs := h.c.fs
 	bs := int64(fs.cfg.BlockBytes)
+	nio := int64(fs.cfg.IONodes)
 	first := off / bs
 	last := (off + n - 1) / bs
 
-	batches := make(map[int][]blockRequest)
-	batchBytes := make(map[int]int64)
+	// Group blocks by owning I/O node into the client's reusable
+	// dispatch table. Blocks are visited in increasing order and each
+	// node's batch is appended in that order, so batches come out in
+	// deterministic (node id, file block) order by construction — no
+	// maps, no sort.
+	ds := h.c.scratch()
+	involved := 0
 	for b := first; b <= last; b++ {
-		io := fs.ioNodeFor(b)
-		db, allocated := h.f.blocks[b]
+		d := &ds[b%nio]
+		db, allocated := h.f.blocks.get(b)
 		if isWrite && !allocated {
-			newBlock, err := io.allocBlock()
+			newBlock, err := d.io.allocBlock()
 			if err != nil {
 				// Volume exhaustion: model the write as failing to
 				// reach disk but still costing the request. The
 				// 7.6 GB study volume never fills in practice.
 				continue
 			}
-			h.f.blocks[b] = newBlock
+			h.f.blocks.set(b, newBlock)
 			db = newBlock
 			allocated = true
 		}
@@ -308,54 +368,55 @@ func (h *Handle) transfer(p *sim.Proc, off, n int64, isWrite bool) {
 		// Bytes of this request that land in block b.
 		bStart, bEnd := b*bs, (b+1)*bs
 		s, e := max64(off, bStart), min64(off+n, bEnd)
-		batchBytes[io.id] += e - s
+		if len(d.batch) == 0 {
+			involved++
+		}
+		d.bytes += e - s
 		req := blockRequest{
 			file: h.f.id, fileBlock: b, diskBlock: db, isWrite: isWrite,
 			nextFileBlock: -1, nextDiskBlock: -1,
 		}
 		if !isWrite && fs.cfg.IONode.Prefetch {
 			// The next block on the same I/O node's stripe.
-			nb := b + int64(fs.cfg.IONodes)
-			if ndb, ok := h.f.blocks[nb]; ok {
+			nb := b + nio
+			if ndb, ok := h.f.blocks.get(nb); ok {
 				req.nextFileBlock, req.nextDiskBlock = nb, ndb
 			}
 		}
-		batches[io.id] = append(batches[io.id], req)
+		d.batch = append(d.batch, req)
 	}
-	if len(batches) == 0 {
+	if involved == 0 {
 		return
 	}
 
-	// Deterministic iteration order over I/O nodes.
-	ids := make([]int, 0, len(batches))
-	for id := range batches {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-
-	var wg sim.WaitGroup
-	wg.Add(len(ids))
-	for _, id := range ids {
-		io := fs.ionodes[id]
-		batch := batches[id]
-		payload := batchBytes[id]
+	wg := &h.c.wg
+	wg.Add(involved)
+	now := p.Now()
+	for id := range ds {
+		d := &ds[id]
+		if len(d.batch) == 0 {
+			continue
+		}
 		reqBytes := reqHeaderBytes
 		if isWrite {
-			reqBytes += int(payload)
+			reqBytes += int(d.bytes)
 		}
-		respBytes := reqHeaderBytes
+		d.respBytes = reqHeaderBytes
 		if !isWrite {
-			respBytes += int(payload)
+			d.respBytes += int(d.bytes)
 		}
-		arrival := p.Now() + fs.tp.ToIONode(h.c.node, id, reqBytes)
-		fs.k.At(arrival, func() {
-			done := io.serve(arrival, batch)
-			fs.k.At(done+fs.tp.FromIONode(id, h.c.node, respBytes), func() {
-				wg.Done()
-			})
-		})
+		d.arrival = now + fs.tp.ToIONode(h.c.node, id, reqBytes)
+		fs.k.At(d.arrival, d.sendFn)
 	}
 	wg.Wait(p)
+
+	// All batches were consumed before Wait returned (serve runs inside
+	// the request event); reset the table for the next call, keeping
+	// the backing arrays.
+	for id := range ds {
+		ds[id].batch = ds[id].batch[:0]
+		ds[id].bytes = 0
+	}
 }
 
 // Close releases the handle. The file's size is recorded in the trace,

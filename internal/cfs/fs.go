@@ -55,12 +55,75 @@ type file struct {
 
 	// blocks maps file-block index to physical disk block; file block
 	// b lives on I/O node (b mod IONodes). Unwritten blocks are absent.
-	blocks map[int64]int64
+	blocks blockTable
 
 	// groups holds shared-pointer state per (job, mode>0) open group.
 	groups map[uint32]*openGroup
 
 	createdByJob uint32
+}
+
+// denseBlockLimit bounds the dense block table: file blocks below it
+// (1 GB of 4 KB blocks, covering every file the study volume can hold)
+// index a slice; sparse indices above it fall back to a map. The worst
+// case for the dense side — a single write just below the limit — fills
+// a 2 MB sentinel prefix; beyond the limit cost reverts to map entries.
+const denseBlockLimit = 1 << 18
+
+// blockTable maps file-block index to physical disk block. Files are
+// overwhelmingly written sequentially from offset zero, so the common
+// case is a dense array — far cheaper than the map the transfer hot
+// path would otherwise hit for every block.
+type blockTable struct {
+	dense  []int64 // -1 = unallocated
+	sparse map[int64]int64
+}
+
+// get returns the disk block for file block b, if allocated.
+func (t *blockTable) get(b int64) (int64, bool) {
+	if b < int64(len(t.dense)) {
+		db := t.dense[b]
+		return db, db >= 0
+	}
+	if t.sparse != nil {
+		db, ok := t.sparse[b]
+		return db, ok
+	}
+	return 0, false
+}
+
+// set records the disk block for file block b.
+func (t *blockTable) set(b, db int64) {
+	if b < denseBlockLimit {
+		for int64(len(t.dense)) <= b {
+			t.dense = append(t.dense, -1)
+		}
+		t.dense[b] = db
+		return
+	}
+	if t.sparse == nil {
+		t.sparse = make(map[int64]int64)
+	}
+	t.sparse[b] = db
+}
+
+// each visits allocated blocks in increasing file-block order.
+func (t *blockTable) each(fn func(fileBlock, diskBlock int64)) {
+	for b, db := range t.dense {
+		if db >= 0 {
+			fn(int64(b), db)
+		}
+	}
+	if len(t.sparse) > 0 {
+		keys := make([]int64, 0, len(t.sparse))
+		for b := range t.sparse {
+			keys = append(keys, b)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, b := range keys {
+			fn(b, t.sparse[b])
+		}
+	}
 }
 
 // openGroup is the shared file pointer state for modes 1-3.
@@ -153,7 +216,6 @@ func (fs *FileSystem) create(name string, job uint32) *file {
 	f := &file{
 		id:           fs.nextID,
 		name:         name,
-		blocks:       make(map[int64]int64),
 		groups:       make(map[uint32]*openGroup),
 		createdByJob: job,
 	}
@@ -180,7 +242,7 @@ func (fs *FileSystem) Preload(name string, size int64) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		f.blocks[b] = db
+		f.blocks.set(b, db)
 	}
 	return f.id, nil
 }
@@ -205,18 +267,14 @@ func (fs *FileSystem) Size(name string) (int64, error) {
 func (fs *FileSystem) removeFile(f *file) {
 	f.deleted = true
 	delete(fs.byName, f.name)
-	// Iterate file blocks in sorted order so the free lists (and hence
-	// future allocations and disk layout) stay deterministic.
-	fbs := make([]int64, 0, len(f.blocks))
-	for fb := range f.blocks {
-		fbs = append(fbs, fb)
-	}
-	sort.Slice(fbs, func(i, j int) bool { return fbs[i] < fbs[j] })
-	for _, fb := range fbs {
+	// Blocks are visited in increasing file-block order so the free
+	// lists (and hence future allocations and disk layout) stay
+	// deterministic.
+	f.blocks.each(func(fb, db int64) {
 		io := fs.ioNodeFor(fb)
-		io.freeBlock(f.blocks[fb])
+		io.freeBlock(db)
 		io.invalidate(f.id, []int64{fb})
-	}
+	})
 }
 
 func (fs *FileSystem) String() string {

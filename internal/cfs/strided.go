@@ -131,54 +131,62 @@ func (h *Handle) transferStrided(p *sim.Proc, off, recBytes, stride int64, count
 	}
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
 
-	batches := make(map[int][]blockRequest)
+	// Group by I/O node into the client's reusable dispatch table (see
+	// transfer): blocks are already sorted, so batches come out in
+	// deterministic order without maps or a second sort.
+	ds := h.c.scratch()
+	involved := 0
 	for _, b := range blocks {
-		io := fs.ioNodeFor(b)
-		db, allocated := h.f.blocks[b]
+		d := &ds[b%int64(fs.cfg.IONodes)]
+		db, allocated := h.f.blocks.get(b)
 		if isWrite && !allocated {
-			newBlock, err := io.allocBlock()
+			newBlock, err := d.io.allocBlock()
 			if err != nil {
 				continue
 			}
-			h.f.blocks[b] = newBlock
+			h.f.blocks.set(b, newBlock)
 			db = newBlock
 			allocated = true
 		}
 		if !allocated {
 			db = -1
 		}
-		batches[io.id] = append(batches[io.id], blockRequest{
+		if len(d.batch) == 0 {
+			involved++
+		}
+		d.batch = append(d.batch, blockRequest{
 			file: h.f.id, fileBlock: b, diskBlock: db, isWrite: isWrite,
 			nextFileBlock: -1, nextDiskBlock: -1,
 		})
 	}
-	ids := make([]int, 0, len(batches))
-	for id := range batches {
-		ids = append(ids, id)
+	if involved == 0 {
+		return
 	}
-	sort.Ints(ids)
 
-	perNodePayload := payload / int64(len(ids)) // even split approximation
-	var wg sim.WaitGroup
-	wg.Add(len(ids))
-	for _, id := range ids {
-		io := fs.ionodes[id]
-		batch := batches[id]
+	perNodePayload := payload / int64(involved) // even split approximation
+	wg := &h.c.wg
+	wg.Add(involved)
+	now := p.Now()
+	for id := range ds {
+		d := &ds[id]
+		if len(d.batch) == 0 {
+			continue
+		}
 		reqBytes := reqHeaderBytes + 16 // pattern descriptor
 		if isWrite {
 			reqBytes += int(perNodePayload)
 		}
-		respBytes := reqHeaderBytes
+		d.respBytes = reqHeaderBytes
 		if !isWrite {
-			respBytes += int(perNodePayload)
+			d.respBytes += int(perNodePayload)
 		}
-		arrival := p.Now() + fs.tp.ToIONode(h.c.node, id, reqBytes)
-		fs.k.At(arrival, func() {
-			done := io.serve(arrival, batch)
-			fs.k.At(done+fs.tp.FromIONode(id, h.c.node, respBytes), func() {
-				wg.Done()
-			})
-		})
+		d.arrival = now + fs.tp.ToIONode(h.c.node, id, reqBytes)
+		fs.k.At(d.arrival, d.sendFn)
 	}
 	wg.Wait(p)
+
+	for id := range ds {
+		ds[id].batch = ds[id].batch[:0]
+		ds[id].bytes = 0
+	}
 }

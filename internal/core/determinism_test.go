@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+// TestStudyDeterminism guards the simulator's reproducibility contract:
+// two studies with the same seed must produce byte-identical reports.
+// The event-queue and transfer-path optimizations (see PERFORMANCE.md)
+// are only admissible because they preserve exact event ordering; this
+// test fails if any of them silently reorders same-instant events,
+// changes disk-block allocation order, or perturbs a statistic.
+func TestStudyDeterminism(t *testing.T) {
+	cfg := DefaultConfig(42, 0.02)
+	a := RunStudy(cfg)
+	b := RunStudy(cfg)
+
+	ra, rb := a.Report.Format(), b.Report.Format()
+	if ra != rb {
+		t.Fatalf("two runs at seed 42 produced different reports:\nrun A:\n%s\nrun B:\n%s", ra, rb)
+	}
+	if a.TraceRecords != b.TraceRecords || a.TraceMessages != b.TraceMessages {
+		t.Fatalf("trace volume differs between runs: records %d vs %d, messages %d vs %d",
+			a.TraceRecords, b.TraceRecords, a.TraceMessages, b.TraceMessages)
+	}
+	if a.DiskOps != b.DiskOps {
+		t.Fatalf("disk operations differ between runs: %d vs %d", a.DiskOps, b.DiskOps)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event streams differ in length: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs between runs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStudyGoldenReport pins the seed-42 report against a committed
+// golden file, so a deterministic-but-wrong change to event ordering,
+// block allocation, or a statistic cannot slip past TestStudyDeterminism
+// (which only compares a run against itself). Regenerate after an
+// intentional behavior or format change with:
+//
+//	UPDATE_GOLDEN=1 go test -run TestStudyGoldenReport ./internal/core/
+func TestStudyGoldenReport(t *testing.T) {
+	path := filepath.Join("testdata", "report_seed42_scale002.golden")
+	got := RunStudy(DefaultConfig(42, 0.02)).Report.Format()
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("seed-42 report diverged from %s; if the change is intentional, regenerate with UPDATE_GOLDEN=1.\ngot %d bytes, want %d bytes", path, len(got), len(want))
+	}
+}

@@ -12,10 +12,7 @@
 // control to the kernel until the corresponding wakeup event fires.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is virtual simulation time in microseconds.
 type Time int64
@@ -38,35 +35,18 @@ func (t Time) ToSeconds() float64 { return float64(t) / float64(Second) }
 // String renders the time as seconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.ToSeconds()) }
 
+// event is one scheduled callback, ordered by (t, seq).
 type event struct {
 	t   Time
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is a discrete-event simulator. The zero value is ready to use.
 type Kernel struct {
 	now     Time
-	queue   eventHeap
+	heap    eventHeap // future events
+	fifo    eventFIFO // events scheduled for the current instant
 	seq     uint64
 	stopped bool
 	failure interface{} // panic value propagated from a process
@@ -85,7 +65,16 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.queue, event{t: t, seq: k.seq, fn: fn})
+	e := event{t: t, seq: k.seq, fn: fn}
+	if t == k.now {
+		// Same-instant events run in scheduling order, after any heap
+		// events at this instant (those were scheduled earlier and have
+		// smaller sequence numbers). A FIFO serves them without heap
+		// sift costs.
+		k.fifo.push(e)
+		return
+	}
+	k.heap.push(e)
 }
 
 // After schedules fn to run d after the current time. Negative delays
@@ -98,7 +87,7 @@ func (k *Kernel) After(d Time, fn func()) {
 }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return k.heap.len() + k.fifo.len() }
 
 // Stop makes Run and RunUntil return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
@@ -111,11 +100,29 @@ func (k *Kernel) Run() { k.RunUntil(1<<62 - 1) }
 // the panic is re-raised here on the kernel goroutine.
 func (k *Kernel) RunUntil(limit Time) {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		if k.queue[0].t > limit {
+	for !k.stopped {
+		var e event
+		if k.fifo.len() > 0 {
+			f := k.fifo.front()
+			if k.heap.len() > 0 && k.heap.ev[0].t <= f.t {
+				// A heap event at the same instant was scheduled
+				// before any FIFO event at that instant (and so has a
+				// smaller sequence number); run it first.
+				e = k.heap.pop()
+			} else {
+				if f.t > limit {
+					break
+				}
+				e = k.fifo.pop()
+			}
+		} else if k.heap.len() > 0 {
+			if k.heap.ev[0].t > limit {
+				break
+			}
+			e = k.heap.pop()
+		} else {
 			break
 		}
-		e := heap.Pop(&k.queue).(event)
 		k.now = e.t
 		e.fn()
 		if k.failure != nil {

@@ -12,6 +12,7 @@ type Proc struct {
 	name      string
 	resume    chan struct{}
 	yield     chan struct{}
+	stepFn    func() // p.step, bound once at Spawn so Sleep/Wake don't allocate
 	done      bool
 	suspended bool
 }
@@ -37,9 +38,8 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
-	started := false
+	p.stepFn = p.step
 	k.After(0, func() {
-		started = true
 		go func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -53,7 +53,6 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		}()
 		p.step()
 	})
-	_ = started
 	return p
 }
 
@@ -79,7 +78,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	p.k.After(d, p.step)
+	p.k.After(d, p.stepFn)
 	p.block()
 }
 
@@ -106,7 +105,7 @@ func (p *Proc) Wake() {
 		panic(fmt.Sprintf("sim: waking non-suspended process %q", p.name))
 	}
 	p.suspended = false
-	p.k.After(0, p.step)
+	p.k.After(0, p.stepFn)
 }
 
 // Chan is an unbounded, FIFO, deterministic message queue between

@@ -1,0 +1,59 @@
+package stats
+
+import "testing"
+
+// BenchmarkCDFAddN measures bulk weighted insertion, the analysis
+// layer's pattern for byte-weighted request-size CDFs (thousands of
+// bytes of weight per distinct size).
+func BenchmarkCDFAddN(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var c CDF
+		for s := 0; s < 64; s++ {
+			c.AddN(float64(1+s%7)*512, 1000)
+		}
+		if c.Len() != 64000 {
+			b.Fatalf("len = %d", c.Len())
+		}
+	}
+}
+
+// BenchmarkCDFAdd measures single-sample insertion.
+func BenchmarkCDFAdd(b *testing.B) {
+	var c CDF
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(float64(i % 4096))
+	}
+}
+
+// BenchmarkCDFQuantile measures query cost on a freshly-dirtied CDF
+// (sort + search), the Analyze/Format pattern.
+func BenchmarkCDFQuantile(b *testing.B) {
+	var c CDF
+	for i := 0; i < 4096; i++ {
+		c.AddN(float64(i*37%1000), 1+i%5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(float64(i % 1000)) // dirty the sort
+		if v := c.Quantile(0.5); v < 0 {
+			b.Fatal(v)
+		}
+	}
+}
+
+// BenchmarkCDFAt measures repeated queries on a clean (sorted) CDF.
+func BenchmarkCDFAt(b *testing.B) {
+	var c CDF
+	for i := 0; i < 4096; i++ {
+		c.AddN(float64(i*37%1000), 1+i%5)
+	}
+	c.Quantile(0.5) // force the sort once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.At(float64(i % 1000))
+	}
+}

@@ -6,104 +6,142 @@ import (
 	"strings"
 )
 
+// wsample is one weighted sample: the value v observed n times.
+type wsample struct {
+	v float64
+	n int64
+}
+
 // CDF is an empirical cumulative distribution function over float64
-// samples. The zero value is ready to use.
+// samples. Samples are stored as weighted (value, count) pairs, so
+// adding a value with large multiplicity (AddN) is O(1) rather than
+// O(n); on the first query after a mutation the pairs are sorted by
+// value, coalesced, and prefix-summed. The zero value is ready to use.
 type CDF struct {
-	samples []float64
+	entries []wsample
+	cum     []int64 // cum[i] = total count of entries[0..i], valid when sorted
+	total   int64
 	sorted  bool
 }
 
 // Add appends one sample.
 func (c *CDF) Add(v float64) {
-	c.samples = append(c.samples, v)
+	c.entries = append(c.entries, wsample{v: v, n: 1})
+	c.total++
 	c.sorted = false
 }
 
-// AddN appends the sample v with multiplicity n.
+// AddN appends the sample v with multiplicity n in constant time.
+// Non-positive multiplicities add nothing.
 func (c *CDF) AddN(v float64, n int) {
-	for i := 0; i < n; i++ {
-		c.samples = append(c.samples, v)
+	if n <= 0 {
+		return
 	}
+	c.entries = append(c.entries, wsample{v: v, n: int64(n)})
+	c.total += int64(n)
 	c.sorted = false
 }
 
-// Len reports the number of samples.
-func (c *CDF) Len() int { return len(c.samples) }
+// Len reports the number of samples (counting multiplicity).
+func (c *CDF) Len() int { return int(c.total) }
 
+// sortSamples sorts entries by value, merges duplicates, and rebuilds
+// the cumulative-count table.
 func (c *CDF) sortSamples() {
-	if !c.sorted {
-		sort.Float64s(c.samples)
-		c.sorted = true
+	if c.sorted {
+		return
 	}
+	es := c.entries
+	sort.Slice(es, func(i, j int) bool { return es[i].v < es[j].v })
+	// Coalesce runs of equal values in place.
+	out := 0
+	for i := 0; i < len(es); {
+		v, n := es[i].v, es[i].n
+		for i++; i < len(es) && es[i].v == v; i++ {
+			n += es[i].n
+		}
+		es[out] = wsample{v: v, n: n}
+		out++
+	}
+	c.entries = es[:out]
+	c.cum = c.cum[:0]
+	var run int64
+	for _, e := range c.entries {
+		run += e.n
+		c.cum = append(c.cum, run)
+	}
+	c.sorted = true
 }
 
 // At returns the fraction of samples <= x, i.e. CDF(x).
 // It returns 0 for an empty CDF.
 func (c *CDF) At(x float64) float64 {
-	if len(c.samples) == 0 {
+	if c.total == 0 {
 		return 0
 	}
 	c.sortSamples()
-	i := sort.SearchFloat64s(c.samples, x)
-	// SearchFloat64s returns the first index with samples[i] >= x;
-	// advance over equal values to count them as <= x.
-	for i < len(c.samples) && c.samples[i] == x {
-		i++
+	// First entry with value > x; everything before it is <= x.
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].v > x })
+	if i == 0 {
+		return 0
 	}
-	return float64(i) / float64(len(c.samples))
+	return float64(c.cum[i-1]) / float64(c.total)
 }
 
 // Quantile returns the smallest sample v such that CDF(v) >= q,
 // for q in (0, 1]. Quantile(0) returns the minimum sample.
 func (c *CDF) Quantile(q float64) float64 {
-	if len(c.samples) == 0 {
+	if c.total == 0 {
 		return 0
 	}
 	c.sortSamples()
 	if q <= 0 {
-		return c.samples[0]
+		return c.entries[0].v
 	}
 	if q >= 1 {
-		return c.samples[len(c.samples)-1]
+		return c.entries[len(c.entries)-1].v
 	}
-	idx := int(q*float64(len(c.samples))+0.999999) - 1
+	idx := int64(q*float64(c.total)+0.999999) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(c.samples) {
-		idx = len(c.samples) - 1
+	if idx >= c.total {
+		idx = c.total - 1
 	}
-	return c.samples[idx]
+	// The sample of rank idx (0-based) is the first entry whose
+	// cumulative count exceeds idx.
+	i := sort.Search(len(c.cum), func(i int) bool { return c.cum[i] > idx })
+	return c.entries[i].v
 }
 
 // Min returns the smallest sample, or 0 if empty.
 func (c *CDF) Min() float64 {
-	if len(c.samples) == 0 {
+	if c.total == 0 {
 		return 0
 	}
 	c.sortSamples()
-	return c.samples[0]
+	return c.entries[0].v
 }
 
 // Max returns the largest sample, or 0 if empty.
 func (c *CDF) Max() float64 {
-	if len(c.samples) == 0 {
+	if c.total == 0 {
 		return 0
 	}
 	c.sortSamples()
-	return c.samples[len(c.samples)-1]
+	return c.entries[len(c.entries)-1].v
 }
 
 // Mean returns the arithmetic mean of the samples, or 0 if empty.
 func (c *CDF) Mean() float64 {
-	if len(c.samples) == 0 {
+	if c.total == 0 {
 		return 0
 	}
 	var sum float64
-	for _, v := range c.samples {
-		sum += v
+	for _, e := range c.entries {
+		sum += e.v * float64(e.n)
 	}
-	return sum / float64(len(c.samples))
+	return sum / float64(c.total)
 }
 
 // Point is one (X, F) pair of a rendered CDF curve: F is the fraction
@@ -126,15 +164,10 @@ func (c *CDF) Curve(xs []float64) []Point {
 // sample value, in increasing order.
 func (c *CDF) Steps() []Point {
 	c.sortSamples()
-	var pts []Point
-	n := float64(len(c.samples))
-	for i := 0; i < len(c.samples); {
-		j := i
-		for j < len(c.samples) && c.samples[j] == c.samples[i] {
-			j++
-		}
-		pts = append(pts, Point{X: c.samples[i], F: float64(j) / n})
-		i = j
+	pts := make([]Point, len(c.entries))
+	n := float64(c.total)
+	for i, e := range c.entries {
+		pts[i] = Point{X: e.v, F: float64(c.cum[i]) / n}
 	}
 	return pts
 }

@@ -48,7 +48,16 @@ func NewNodeBuffer(node uint16, clock Clock, bufferBytes int, flush func(Block))
 	if limit < 1 {
 		limit = 1
 	}
-	return &NodeBuffer{node: node, clock: clock, limit: limit, flush: flush}
+	return &NodeBuffer{
+		node:  node,
+		clock: clock,
+		limit: limit,
+		flush: flush,
+		// One full-size chunk per block: records append into
+		// preallocated capacity, so a block costs one allocation
+		// instead of a doubling growth chain per fill cycle.
+		pending: make([]Event, 0, limit),
+	}
 }
 
 // Node returns the owning compute node.
@@ -83,7 +92,9 @@ func (b *NodeBuffer) Flush() {
 		SendLocal: int64(b.clock.Now()),
 		Events:    b.pending,
 	}
-	b.pending = nil
+	// The collector retains the shipped events, so start a fresh chunk
+	// rather than reusing the backing array.
+	b.pending = make([]Event, 0, b.limit)
 	b.flushes++
 	b.flush(blk)
 }
