@@ -10,6 +10,8 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -517,6 +519,45 @@ func BenchmarkRunStudy(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		core.RunStudy(core.DefaultConfig(42, benchScale))
+	}
+}
+
+// BenchmarkRunSweep runs the acceptance sweep for the parallel study
+// engine: 8 seed-replication studies at scale 0.05, fanned over 1, 2,
+// 4, and 8 workers. The speedup ratio workers=8 / workers=1 is the
+// headline multi-core number (see PERFORMANCE.md, "Sweep scaling").
+func BenchmarkRunSweep(b *testing.B) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	specs := core.CrossSpecs(seeds, []float64{benchScale}, nil, nil)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := core.RunSweep(context.Background(), core.SweepConfig{
+					Specs: specs, Workers: workers,
+				})
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+			b.ReportMetric(float64(len(specs))/b.Elapsed().Seconds()*float64(b.N), "studies/s")
+		})
+	}
+}
+
+// BenchmarkArenaStudySteadyState measures the per-study cost once a
+// worker's arena is warm: every iteration runs a full study on the
+// same arena and recycles it, so B/op and allocs/op here versus
+// BenchmarkRunStudy quantify how much of a study's allocation the
+// arena reuse removes (acceptance: <= 25% of a cold study).
+func BenchmarkArenaStudySteadyState(b *testing.B) {
+	arena := core.NewArena()
+	cfg := core.DefaultConfig(42, benchScale)
+	arena.Recycle(arena.RunStudy(cfg)) // warm the pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Recycle(arena.RunStudy(cfg))
 	}
 }
 

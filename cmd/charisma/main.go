@@ -6,16 +6,28 @@
 // Usage:
 //
 //	charisma [-scale 0.1] [-seed 42] [-fig N | -table N | -report] [-trace file]
+//	charisma -sweep [-seeds 1-32] [-scales 0.05,0.1] [-workers 0]
 //
 // With -fig or -table only that figure or table is printed; -report
 // (the default) prints everything. -trace additionally writes the raw
 // binary trace for later analysis with traceanal or cachesim.
+//
+// -sweep runs one study per (seed, scale) pair across a pool of
+// worker goroutines (one reusable simulation arena per worker; see
+// core.RunSweep) and prints the aggregate report with min/median/max
+// columns. -cpuprofile and -memprofile capture pprof profiles of
+// either mode.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -28,23 +40,67 @@ func main() {
 	table := flag.Int("table", 0, "print only table N (1-3)")
 	report := flag.Bool("report", false, "print the full report (default when no -fig/-table)")
 	traceOut := flag.String("trace", "", "also write the raw trace to this file")
+	sweep := flag.Bool("sweep", false, "run a parallel study sweep over -seeds x -scales")
+	seeds := flag.String("seeds", "", "sweep seeds: a range '1-32' or list '1,5,9' (default: -seed)")
+	scales := flag.String("scales", "", "sweep scales: comma-separated list (default: -scale)")
+	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 = GOMAXPROCS")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		// Best-effort: never os.Exit here, or the CPU-profile defer
+		// registered above would be skipped and its file corrupted.
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charisma:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "charisma:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "charisma:", err)
+		}
+	}()
+
+	if *sweep {
+		runSweep(*seeds, *scales, *seed, *scale, *workers)
+		return
+	}
 
 	res := core.RunStudy(core.DefaultConfig(*seed, *scale))
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "charisma:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if _, err := res.Trace.WriteTo(f); err != nil {
 			fmt.Fprintln(os.Stderr, "charisma: writing trace:", err)
 			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "charisma:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "charisma: wrote %d events to %s\n", len(res.Events), *traceOut)
 	}
@@ -55,6 +111,82 @@ func main() {
 		res.TraceRecords, res.TraceMessages,
 		100*float64(res.TraceMessages)/float64(max64(res.TraceRecords, 1)),
 		res.DiskOps)
+}
+
+// runSweep executes the multi-study mode and prints the aggregate
+// report (deterministic) on stdout and timing (not) on stderr.
+func runSweep(seedSpec, scaleSpec string, seed uint64, scale float64, workers int) {
+	seedList, err := parseSeeds(seedSpec, seed)
+	if err != nil {
+		fatal(err)
+	}
+	scaleList, err := parseScales(scaleSpec, scale)
+	if err != nil {
+		fatal(err)
+	}
+	specs := core.CrossSpecs(seedList, scaleList, nil, nil)
+	res := core.RunSweep(context.Background(), core.SweepConfig{Specs: specs, Workers: workers})
+	if res.Err != nil {
+		fatal(res.Err)
+	}
+	fmt.Print(res.Format())
+	fmt.Fprintf(os.Stderr, "charisma: %d studies on %d workers in %v (%.2f studies/s)\n",
+		len(res.Outcomes), res.Workers, res.Elapsed.Round(1e6),
+		float64(len(res.Outcomes))/res.Elapsed.Seconds())
+}
+
+// parseSeeds understands "a-b" ranges and comma lists; empty means
+// the single -seed value.
+func parseSeeds(spec string, fallback uint64) ([]uint64, error) {
+	if spec == "" {
+		return []uint64{fallback}, nil
+	}
+	if lo, hi, ok := strings.Cut(spec, "-"); ok {
+		a, err1 := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+		b, err2 := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+		if err1 != nil || err2 != nil || b < a {
+			return nil, fmt.Errorf("charisma: bad seed range %q", spec)
+		}
+		if b-a >= 1<<20 {
+			return nil, fmt.Errorf("charisma: seed range %q too large", spec)
+		}
+		var out []uint64
+		for s := a; s <= b; s++ {
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	var out []uint64
+	for _, part := range strings.Split(spec, ",") {
+		s, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("charisma: bad seed %q in %q", part, spec)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// parseScales understands comma lists; empty means the single -scale
+// value.
+func parseScales(spec string, fallback float64) ([]float64, error) {
+	if spec == "" {
+		return []float64{fallback}, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("charisma: bad scale %q in %q", part, spec)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "charisma:", err)
+	os.Exit(1)
 }
 
 func selectSection(r *analysis.Report, fig, table int, full bool) string {

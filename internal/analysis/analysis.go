@@ -85,39 +85,64 @@ type Report struct {
 // stream. The horizon is the duration of the traced period; pass the
 // simulation end time, or 0 to use the last event's timestamp.
 func Analyze(header trace.Header, events []trace.Event, horizon sim.Time) *Report {
+	return AnalyzeInto(nil, header, events, horizon)
+}
+
+// AnalyzeInto is Analyze drawing its working state -- file
+// accumulators, job bookkeeping, statistic objects -- from the given
+// scratch pool, which a worker reuses across studies (see core.Arena).
+// The returned Report borrows pooled CDFs and histograms: once it is
+// discarded, return them with ReclaimReport. A nil scratch allocates
+// everything fresh (identical to Analyze).
+func AnalyzeInto(s *Scratch, header trace.Header, events []trace.Event, horizon sim.Time) *Report {
 	r := &Report{
 		Header:         header,
 		JobConcurrency: make(map[int]sim.Time),
-		NodesPerJob:    &stats.Hist{},
+		NodesPerJob:    s.hist(),
 		NodeTime:       make(map[int]float64),
-		FilesPerJob:    &stats.Hist{},
+		FilesPerJob:    s.hist(),
 		FilesByClass:   make(map[FileClass]int),
-		FileSizeCDF:    &stats.CDF{},
+		FileSizeCDF:    s.cdf(),
 
-		ReadCountBySize:  &stats.CDF{},
-		ReadBytesBySize:  &stats.CDF{},
-		WriteCountBySize: &stats.CDF{},
-		WriteBytesBySize: &stats.CDF{},
+		ReadCountBySize:  s.cdf(),
+		ReadBytesBySize:  s.cdf(),
+		WriteCountBySize: s.cdf(),
+		WriteBytesBySize: s.cdf(),
 
-		SeqPct:       newClassCDFs(),
-		ConsPct:      newClassCDFs(),
-		IntervalHist: &stats.Hist{},
-		ReqSizeHist:  &stats.Hist{},
-		ByteSharing:  newClassCDFs(),
-		BlockSharing: newClassCDFs(),
+		SeqPct:       newClassCDFs(s),
+		ConsPct:      newClassCDFs(s),
+		IntervalHist: s.hist(),
+		ReqSizeHist:  s.hist(),
+		ByteSharing:  newClassCDFs(s),
+		BlockSharing: newClassCDFs(s),
 	}
 	blockBytes := int64(header.BlockBytes)
 	if blockBytes <= 0 {
 		blockBytes = 4096
 	}
 
-	files := make(map[uint64]*fileAcc)
-	jobStart := make(map[uint32]sim.Time)
-	jobNodes := make(map[uint32]int)
-	jobFiles := make(map[uint32]map[uint64]struct{})
+	files := s.fileMap()
+	var jobStart map[uint32]sim.Time
+	var jobNodes map[uint32]int
+	var jobFiles map[uint32]map[uint64]struct{}
+	if s != nil {
+		if s.jobStart == nil {
+			s.jobStart = make(map[uint32]sim.Time)
+			s.jobNodes = make(map[uint32]int)
+			s.jobFiles = make(map[uint32]map[uint64]struct{})
+		}
+		jobStart, jobNodes, jobFiles = s.jobStart, s.jobNodes, s.jobFiles
+	} else {
+		jobStart = make(map[uint32]sim.Time)
+		jobNodes = make(map[uint32]int)
+		jobFiles = make(map[uint32]map[uint64]struct{})
+	}
 	var lastT sim.Time
 
 	var edges []edge
+	if s != nil {
+		edges = s.edges[:0]
+	}
 
 	for i := range events {
 		ev := &events[i]
@@ -150,24 +175,24 @@ func Analyze(header trace.Header, events []trace.Event, horizon sim.Time) *Repor
 				r.ModeOpens[ev.Mode]++
 			}
 			if jobFiles[ev.Job] == nil {
-				jobFiles[ev.Job] = make(map[uint64]struct{})
+				jobFiles[ev.Job] = s.fileSet()
 			}
 			jobFiles[ev.Job][ev.File] = struct{}{}
-			fileFor(files, ev.File).observe(ev)
+			fileFor(s, files, ev.File).observe(ev, s)
 		case trace.EvClose, trace.EvDelete:
-			fileFor(files, ev.File).observe(ev)
+			fileFor(s, files, ev.File).observe(ev, s)
 		case trace.EvRead:
 			r.ReadCountBySize.Add(float64(ev.Size))
-			fileFor(files, ev.File).observe(ev)
+			fileFor(s, files, ev.File).observe(ev, s)
 		case trace.EvWrite:
 			r.WriteCountBySize.Add(float64(ev.Size))
-			fileFor(files, ev.File).observe(ev)
+			fileFor(s, files, ev.File).observe(ev, s)
 		case trace.EvReadStrided:
 			r.ReadCountBySize.Add(float64(ev.Bytes()))
-			fileFor(files, ev.File).observe(ev)
+			fileFor(s, files, ev.File).observe(ev, s)
 		case trace.EvWriteStrided:
 			r.WriteCountBySize.Add(float64(ev.Bytes()))
-			fileFor(files, ev.File).observe(ev)
+			fileFor(s, files, ev.File).observe(ev, s)
 		case trace.EvSeek:
 			// Seeks move pointers; the request stream itself is what
 			// the paper characterizes.
@@ -186,7 +211,12 @@ func Analyze(header trace.Header, events []trace.Event, horizon sim.Time) *Repor
 	}
 
 	// Per-file statistics.
-	ids := make([]uint64, 0, len(files))
+	var ids []uint64
+	if s != nil {
+		ids = s.ids[:0]
+	} else {
+		ids = make([]uint64, 0, len(files))
+	}
 	for id := range files {
 		ids = append(ids, id)
 	}
@@ -226,7 +256,7 @@ func Analyze(header trace.Header, events []trace.Event, horizon sim.Time) *Repor
 		}
 
 		// Table 2.
-		nIntervals, allZero := f.distinctIntervals()
+		nIntervals, allZero := f.distinctIntervals(s)
 		r.IntervalHist.Add(int64(nIntervals))
 		if nIntervals == 1 {
 			oneIntervalTotal++
@@ -240,7 +270,7 @@ func Analyze(header trace.Header, events []trace.Event, horizon sim.Time) *Repor
 
 		// Figure 7: concurrently open on >= 2 nodes.
 		if f.maxOpenNodes >= 2 {
-			if bytePct, blockPct, ok := f.sharing(blockBytes); ok {
+			if bytePct, blockPct, ok := f.sharing(blockBytes, s); ok {
 				r.ByteSharing[class].Add(bytePct)
 				r.BlockSharing[class].Add(blockPct)
 			}
@@ -266,22 +296,31 @@ func Analyze(header trace.Header, events []trace.Event, horizon sim.Time) *Repor
 	r.SmallWriteFrac = r.WriteCountBySize.At(SmallRequestBytes - 1)
 	r.SmallReadData = r.ReadBytesBySize.At(SmallRequestBytes - 1)
 	r.SmallWriteData = r.WriteBytesBySize.At(SmallRequestBytes - 1)
+
+	// The report is complete: everything it exposes has been copied or
+	// summarized out of the working state, so the accumulators, job
+	// maps, and edge list can go back to the pool for the next study.
+	if s != nil {
+		s.edges = edges
+		s.ids = ids
+		s.release()
+	}
 	return r
 }
 
-func fileFor(files map[uint64]*fileAcc, id uint64) *fileAcc {
+func fileFor(s *Scratch, files map[uint64]*fileAcc, id uint64) *fileAcc {
 	f := files[id]
 	if f == nil {
-		f = newFileAcc(id)
+		f = s.getAcc(id)
 		files[id] = f
 	}
 	return f
 }
 
-func newClassCDFs() map[FileClass]*stats.CDF {
+func newClassCDFs(s *Scratch) map[FileClass]*stats.CDF {
 	m := make(map[FileClass]*stats.CDF, numClasses)
 	for c := Untouched; c < numClasses; c++ {
-		m[c] = &stats.CDF{}
+		m[c] = s.cdf()
 	}
 	return m
 }

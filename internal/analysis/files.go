@@ -129,14 +129,14 @@ func (s *nodeStream) recordStrided(ev *trace.Event) {
 	})
 }
 
-// mergedRanges returns the node's accessed ranges as a disjoint,
-// sorted set.
-func (s *nodeStream) mergedRanges() []span {
-	if len(s.ranges) <= 1 {
-		return s.ranges
+// mergedRangesInto returns the node's accessed ranges as a disjoint,
+// sorted set, built in buf (which must be empty); the result aliases
+// buf's backing array when it is large enough.
+func (s *nodeStream) mergedRangesInto(buf []span) []span {
+	rs := append(buf, s.ranges...)
+	if len(rs) <= 1 {
+		return rs
 	}
-	rs := make([]span, len(s.ranges))
-	copy(rs, s.ranges)
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
 	out := rs[:1]
 	for _, r := range rs[1:] {
@@ -150,6 +150,13 @@ func (s *nodeStream) mergedRanges() []span {
 		}
 	}
 	return out
+}
+
+// posEdge is a +1/-1 coverage transition at a byte position, used by
+// fileAcc.sharing's sweep over merged ranges.
+type posEdge struct {
+	pos   int64
+	delta int
 }
 
 // fileAcc accumulates per-file state across the event stream.
@@ -191,13 +198,13 @@ func newFileAcc(id uint64) *fileAcc {
 	}
 }
 
-func (f *fileAcc) stream(node uint16) *nodeStream {
-	s := f.streams[node]
-	if s == nil {
-		s = &nodeStream{}
-		f.streams[node] = s
+func (f *fileAcc) stream(node uint16, s *Scratch) *nodeStream {
+	st := f.streams[node]
+	if st == nil {
+		st = s.getStream()
+		f.streams[node] = st
 	}
-	return s
+	return st
 }
 
 // class returns the file's Section 4.2 classification.
@@ -219,10 +226,10 @@ func (f *fileAcc) totalRequests() int64 { return f.reads + f.writes }
 
 // distinctIntervals returns the number of distinct interval sizes used
 // across all nodes (Table 2), and whether every interval was zero.
-func (f *fileAcc) distinctIntervals() (n int, allZero bool) {
-	seen := make(map[int64]struct{})
-	for _, s := range f.streams {
-		for gap := range s.intervals {
+func (f *fileAcc) distinctIntervals(s *Scratch) (n int, allZero bool) {
+	seen := s.seenMap()
+	for _, st := range f.streams {
+		for gap := range st.intervals {
 			seen[gap] = struct{}{}
 		}
 	}
@@ -248,27 +255,34 @@ func (f *fileAcc) seqConsPct() (seqPct, consPct float64, ok bool) {
 
 // sharing computes the fraction of accessed bytes and accessed blocks
 // touched by two or more distinct nodes.
-func (f *fileAcc) sharing(blockBytes int64) (bytePct, blockPct float64, ok bool) {
+func (f *fileAcc) sharing(blockBytes int64, s *Scratch) (bytePct, blockPct float64, ok bool) {
 	if len(f.streams) < 2 {
 		return 0, 0, false
 	}
-	type edge struct {
-		pos   int64
-		delta int
+	var edges []posEdge
+	var mbuf []span
+	if s != nil {
+		edges = s.shareEdges[:0]
+		mbuf = s.mergeBuf
 	}
-	var edges []edge
-	blocks := make(map[int64]int)
-	for _, s := range f.streams {
-		nodeBlocks := make(map[int64]struct{})
-		for _, r := range s.mergedRanges() {
-			edges = append(edges, edge{r.Start, +1}, edge{r.End, -1})
+	blocks := s.blockCounts()
+	for _, st := range f.streams {
+		nodeBlocks := s.nodeBlockSet()
+		merged := st.mergedRangesInto(mbuf[:0])
+		for _, r := range merged {
+			edges = append(edges, posEdge{r.Start, +1}, posEdge{r.End, -1})
 			for b := r.Start / blockBytes; b <= (r.End-1)/blockBytes; b++ {
 				nodeBlocks[b] = struct{}{}
 			}
 		}
+		mbuf = merged
 		for b := range nodeBlocks {
 			blocks[b]++
 		}
+	}
+	if s != nil {
+		s.shareEdges = edges
+		s.mergeBuf = mbuf
 	}
 	if len(edges) == 0 {
 		return 0, 0, false
@@ -310,8 +324,9 @@ func (f *fileAcc) sharing(blockBytes int64) (bytePct, blockPct float64, ok bool)
 		100 * float64(blockShared) / float64(blockUnion), true
 }
 
-// observe feeds one event into the accumulator.
-func (f *fileAcc) observe(ev *trace.Event) {
+// observe feeds one event into the accumulator. The scratch (nil for
+// one-shot analysis) supplies pooled node streams.
+func (f *fileAcc) observe(ev *trace.Event, s *Scratch) {
 	switch ev.Type {
 	case trace.EvOpen:
 		f.opens++
@@ -337,12 +352,12 @@ func (f *fileAcc) observe(ev *trace.Event) {
 		f.reads++
 		f.bytesRead += ev.Size
 		f.reqSizes[ev.Size] = struct{}{}
-		f.stream(ev.Node).record(ev.Offset, ev.Size)
+		f.stream(ev.Node, s).record(ev.Offset, ev.Size)
 	case trace.EvWrite:
 		f.writes++
 		f.bytesWritten += ev.Size
 		f.reqSizes[ev.Size] = struct{}{}
-		f.stream(ev.Node).record(ev.Offset, ev.Size)
+		f.stream(ev.Node, s).record(ev.Offset, ev.Size)
 	case trace.EvReadStrided, trace.EvWriteStrided:
 		// A strided request is one request whose effective size is the
 		// whole pattern; its per-record ranges still matter for
@@ -355,7 +370,7 @@ func (f *fileAcc) observe(ev *trace.Event) {
 			f.bytesWritten += ev.Bytes()
 		}
 		f.reqSizes[ev.Bytes()] = struct{}{}
-		f.stream(ev.Node).recordStrided(ev)
+		f.stream(ev.Node, s).recordStrided(ev)
 	case trace.EvDelete:
 		f.deletedByJobs[ev.Job] = true
 		if f.createdByJobs[ev.Job] {

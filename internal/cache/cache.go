@@ -49,45 +49,76 @@ type Cache interface {
 	Name() string
 }
 
-// node is an entry in the intrusive doubly-linked list shared by the
-// LRU and FIFO implementations. The list is circular with a sentinel.
-type node struct {
+// entry is one resident block in the slice-backed intrusive list
+// shared by the LRU and FIFO implementations. Entries link by slot
+// index rather than pointer, so a cache performs zero per-insertion
+// allocations once its entry slice has grown to capacity: an eviction
+// reuses the victim's slot in place.
+type entry struct {
 	id         BlockID
-	prev, next *node
+	prev, next int32 // slot indexes, -1 = end of list
 }
 
-type list struct{ root node }
-
-func (l *list) init() {
-	l.root.prev = &l.root
-	l.root.next = &l.root
+// order is a doubly-linked list threaded through an entry slice.
+// front is the most recent (LRU) or newest (FIFO) entry, back the
+// eviction victim.
+type order struct {
+	entries     []entry
+	front, back int32
+	free        []int32 // slots vacated by Invalidate
 }
 
-func (l *list) pushFront(n *node) {
-	n.prev = &l.root
-	n.next = l.root.next
-	n.prev.next = n
-	n.next.prev = n
+func newOrder(capacity int) order {
+	// Entries grow by append up to capacity, so short-lived caches
+	// (e.g. one per job-node pair in the Figure 8 simulation) never
+	// pay for capacity they do not use.
+	return order{front: -1, back: -1, entries: make([]entry, 0, min(capacity, 1<<16))}
 }
 
-func (l *list) remove(n *node) {
-	n.prev.next = n.next
-	n.next.prev = n.prev
-	n.prev, n.next = nil, nil
-}
-
-func (l *list) back() *node {
-	if l.root.prev == &l.root {
-		return nil
+// alloc returns a slot for id, reusing a freed slot when available.
+func (o *order) alloc(id BlockID) int32 {
+	if n := len(o.free); n > 0 {
+		i := o.free[n-1]
+		o.free = o.free[:n-1]
+		o.entries[i] = entry{id: id, prev: -1, next: -1}
+		return i
 	}
-	return l.root.prev
+	o.entries = append(o.entries, entry{id: id, prev: -1, next: -1})
+	return int32(len(o.entries) - 1)
+}
+
+func (o *order) pushFront(i int32) {
+	e := &o.entries[i]
+	e.prev = -1
+	e.next = o.front
+	if o.front >= 0 {
+		o.entries[o.front].prev = i
+	} else {
+		o.back = i
+	}
+	o.front = i
+}
+
+func (o *order) unlink(i int32) {
+	e := &o.entries[i]
+	if e.prev >= 0 {
+		o.entries[e.prev].next = e.next
+	} else {
+		o.front = e.next
+	}
+	if e.next >= 0 {
+		o.entries[e.next].prev = e.prev
+	} else {
+		o.back = e.prev
+	}
+	e.prev, e.next = -1, -1
 }
 
 // LRU is a least-recently-used block cache.
 type LRU struct {
 	capacity int
-	entries  map[BlockID]*node
-	order    list // front = most recent
+	index    map[BlockID]int32
+	order    order
 	stats    Stats
 }
 
@@ -96,44 +127,53 @@ func NewLRU(capacity int) *LRU {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cache: non-positive LRU capacity %d", capacity))
 	}
-	c := &LRU{capacity: capacity, entries: make(map[BlockID]*node, capacity)}
-	c.order.init()
-	return c
+	return &LRU{
+		capacity: capacity,
+		index:    make(map[BlockID]int32, min(capacity, 1<<16)),
+		order:    newOrder(capacity),
+	}
 }
 
 // Access implements Cache.
 func (c *LRU) Access(id BlockID) bool {
 	c.stats.Accesses++
-	if n, ok := c.entries[id]; ok {
+	if i, ok := c.index[id]; ok {
 		c.stats.Hits++
-		c.order.remove(n)
-		c.order.pushFront(n)
+		if c.order.front != i {
+			c.order.unlink(i)
+			c.order.pushFront(i)
+		}
 		return true
 	}
-	if len(c.entries) >= c.capacity {
-		victim := c.order.back()
-		c.order.remove(victim)
-		delete(c.entries, victim.id)
+	if len(c.index) >= c.capacity {
+		victim := c.order.back
+		c.order.unlink(victim)
+		delete(c.index, c.order.entries[victim].id)
+		c.order.entries[victim].id = id
+		c.index[id] = victim
+		c.order.pushFront(victim)
+		return false
 	}
-	n := &node{id: id}
-	c.entries[id] = n
-	c.order.pushFront(n)
+	i := c.order.alloc(id)
+	c.index[id] = i
+	c.order.pushFront(i)
 	return false
 }
 
 // Contains implements Cache.
-func (c *LRU) Contains(id BlockID) bool { _, ok := c.entries[id]; return ok }
+func (c *LRU) Contains(id BlockID) bool { _, ok := c.index[id]; return ok }
 
 // Invalidate implements Cache.
 func (c *LRU) Invalidate(id BlockID) {
-	if n, ok := c.entries[id]; ok {
-		c.order.remove(n)
-		delete(c.entries, id)
+	if i, ok := c.index[id]; ok {
+		c.order.unlink(i)
+		c.order.free = append(c.order.free, i)
+		delete(c.index, id)
 	}
 }
 
 // Len implements Cache.
-func (c *LRU) Len() int { return len(c.entries) }
+func (c *LRU) Len() int { return len(c.index) }
 
 // Capacity implements Cache.
 func (c *LRU) Capacity() int { return c.capacity }
@@ -150,8 +190,8 @@ func (c *LRU) Name() string { return "LRU" }
 // ~5 in required cache size at the I/O nodes.
 type FIFO struct {
 	capacity int
-	entries  map[BlockID]*node
-	order    list // front = newest arrival
+	index    map[BlockID]int32
+	order    order // front = newest arrival
 	stats    Stats
 }
 
@@ -160,42 +200,49 @@ func NewFIFO(capacity int) *FIFO {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cache: non-positive FIFO capacity %d", capacity))
 	}
-	c := &FIFO{capacity: capacity, entries: make(map[BlockID]*node, capacity)}
-	c.order.init()
-	return c
+	return &FIFO{
+		capacity: capacity,
+		index:    make(map[BlockID]int32, min(capacity, 1<<16)),
+		order:    newOrder(capacity),
+	}
 }
 
 // Access implements Cache.
 func (c *FIFO) Access(id BlockID) bool {
 	c.stats.Accesses++
-	if _, ok := c.entries[id]; ok {
+	if _, ok := c.index[id]; ok {
 		c.stats.Hits++
 		return true
 	}
-	if len(c.entries) >= c.capacity {
-		victim := c.order.back()
-		c.order.remove(victim)
-		delete(c.entries, victim.id)
+	if len(c.index) >= c.capacity {
+		victim := c.order.back
+		c.order.unlink(victim)
+		delete(c.index, c.order.entries[victim].id)
+		c.order.entries[victim].id = id
+		c.index[id] = victim
+		c.order.pushFront(victim)
+		return false
 	}
-	n := &node{id: id}
-	c.entries[id] = n
-	c.order.pushFront(n)
+	i := c.order.alloc(id)
+	c.index[id] = i
+	c.order.pushFront(i)
 	return false
 }
 
 // Contains implements Cache.
-func (c *FIFO) Contains(id BlockID) bool { _, ok := c.entries[id]; return ok }
+func (c *FIFO) Contains(id BlockID) bool { _, ok := c.index[id]; return ok }
 
 // Invalidate implements Cache.
 func (c *FIFO) Invalidate(id BlockID) {
-	if n, ok := c.entries[id]; ok {
-		c.order.remove(n)
-		delete(c.entries, id)
+	if i, ok := c.index[id]; ok {
+		c.order.unlink(i)
+		c.order.free = append(c.order.free, i)
+		delete(c.index, id)
 	}
 }
 
 // Len implements Cache.
-func (c *FIFO) Len() int { return len(c.entries) }
+func (c *FIFO) Len() int { return len(c.index) }
 
 // Capacity implements Cache.
 func (c *FIFO) Capacity() int { return c.capacity }

@@ -1,0 +1,119 @@
+package cfs
+
+// Arena pools the file system's per-study allocations so a worker
+// running many studies back to back (see core.Arena) stops paying for
+// them after its first study:
+//
+//   - dense blockTable arrays: every file's block map; returned when a
+//     file is deleted mid-study and en masse by FileSystem.Recycle.
+//   - Clients: the per-(job, node) CFS library instances, whose
+//     per-I/O-node dispatch tables (with their event closures and
+//     request batches) are the transfer path's scratch state. The
+//     machine releases a client when its node program ends, so later
+//     jobs -- and later studies -- reuse the same tables.
+//
+// An Arena is not safe for concurrent use; give each worker its own.
+// The zero value is ready to use.
+type Arena struct {
+	dense   [][]int64
+	clients []*Client
+	files   []*file
+	handles []*Handle
+	groups  []*openGroup
+}
+
+// getDense returns a pooled length-zero dense block array, or nil when
+// the pool is empty.
+func (a *Arena) getDense() []int64 {
+	if n := len(a.dense); n > 0 {
+		d := a.dense[n-1]
+		a.dense[n-1] = nil
+		a.dense = a.dense[:n-1]
+		return d
+	}
+	return nil
+}
+
+// putDense returns a dense block array to the pool.
+func (a *Arena) putDense(d []int64) {
+	if cap(d) > 0 {
+		a.dense = append(a.dense, d[:0])
+	}
+}
+
+// getClient returns a pooled client, or nil when the pool is empty.
+func (a *Arena) getClient() *Client {
+	if n := len(a.clients); n > 0 {
+		c := a.clients[n-1]
+		a.clients[n-1] = nil
+		a.clients = a.clients[:n-1]
+		return c
+	}
+	return nil
+}
+
+// putClient returns a client to the pool.
+func (a *Arena) putClient(c *Client) {
+	a.clients = append(a.clients, c)
+}
+
+// getFile returns a pooled file struct (cleared, with its groups map
+// retained), or nil when the pool is empty.
+func (a *Arena) getFile() *file {
+	if n := len(a.files); n > 0 {
+		f := a.files[n-1]
+		a.files[n-1] = nil
+		a.files = a.files[:n-1]
+		return f
+	}
+	return nil
+}
+
+// putFile clears a file struct and pools it. Only call once no handle
+// can reach it (FileSystem.Recycle, after the study).
+func (a *Arena) putFile(f *file) {
+	for job, g := range f.groups {
+		a.putGroup(g)
+		delete(f.groups, job)
+	}
+	*f = file{groups: f.groups}
+	a.files = append(a.files, f)
+}
+
+// getHandle returns a pooled handle, or nil when the pool is empty.
+func (a *Arena) getHandle() *Handle {
+	if n := len(a.handles); n > 0 {
+		h := a.handles[n-1]
+		a.handles[n-1] = nil
+		a.handles = a.handles[:n-1]
+		return h
+	}
+	return nil
+}
+
+// putHandle zeroes a handle and pools it.
+func (a *Arena) putHandle(h *Handle) {
+	*h = Handle{}
+	a.handles = append(a.handles, h)
+}
+
+// getGroup returns an empty open group for the given mode.
+func (a *Arena) getGroup(mode IOMode) *openGroup {
+	if n := len(a.groups); n > 0 {
+		g := a.groups[n-1]
+		a.groups[n-1] = nil
+		a.groups = a.groups[:n-1]
+		g.mode = mode
+		return g
+	}
+	return &openGroup{mode: mode}
+}
+
+// putGroup clears an open group (keeping its members array) and pools
+// it. The group must have no waiters: groups are pooled either when
+// their last member closes (no members, hence no waiters) or after
+// the simulation has drained.
+func (a *Arena) putGroup(g *openGroup) {
+	*g = openGroup{members: g.members[:0]}
+	a.groups = append(a.groups, g)
+}

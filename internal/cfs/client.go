@@ -25,15 +25,91 @@ type Client struct {
 	// response arrives). Indexed by I/O-node id; sized at first use.
 	dispatches []ioDispatch
 	wg         sim.WaitGroup
+
+	// handles tracks every handle this client opened, so Release can
+	// return them to the arena pool when the node program ends. Only
+	// maintained when the file system has an arena.
+	handles []*Handle
 }
 
 // NewClient returns the CFS client for a (job, node) pair. The tracer
-// may be NopTracer{} to model an uninstrumented program.
+// may be NopTracer{} to model an uninstrumented program. With an
+// arena on the file system, released clients are reused, dispatch
+// tables and all.
 func NewClient(fs *FileSystem, job uint32, node int, tracer Tracer) *Client {
 	if tracer == nil {
 		tracer = NopTracer{}
 	}
+	if fs.arena != nil {
+		if c := fs.arena.getClient(); c != nil {
+			c.reinit(fs, job, node, tracer)
+			return c
+		}
+	}
 	return &Client{fs: fs, job: job, node: node, tracer: tracer}
+}
+
+// reinit rebinds a pooled client. The dispatch table's bound closures
+// stay valid -- they capture the dispatch slots, whose backing array
+// is retained -- so only the per-study references need refreshing.
+func (c *Client) reinit(fs *FileSystem, job uint32, node int, tracer Tracer) {
+	c.fs = fs
+	c.job = job
+	c.node = node
+	c.tracer = tracer
+	if len(c.dispatches) != fs.cfg.IONodes {
+		// A machine variant with a different I/O-node count; rebuild on
+		// first use.
+		c.dispatches = nil
+		return
+	}
+	for i := range c.dispatches {
+		d := &c.dispatches[i]
+		d.io = fs.ionodes[i]
+		d.batch = d.batch[:0]
+		d.bytes = 0
+	}
+}
+
+// Release returns the client to the file system's arena for reuse by
+// a later job, or a later study on the same arena. Call it only after
+// the node program has finished: the client, its handles, and any
+// in-flight transfers must all be done. Without an arena it is a
+// no-op.
+func (c *Client) Release() {
+	a := c.fs.arena
+	if a == nil {
+		return
+	}
+	// Handles are pooled only here, never on Close: a stale reference
+	// to a closed handle therefore keeps observing ErrClosed for the
+	// rest of the job instead of silently aliasing a newer open.
+	for i, h := range c.handles {
+		a.putHandle(h)
+		c.handles[i] = nil
+	}
+	c.handles = c.handles[:0]
+	c.fs = nil
+	c.tracer = nil
+	for i := range c.dispatches {
+		c.dispatches[i].io = nil
+	}
+	a.putClient(c)
+}
+
+// newHandle returns a zeroed handle bound to the client, pooled when
+// the file system has an arena.
+func (c *Client) newHandle() *Handle {
+	if a := c.fs.arena; a != nil {
+		h := a.getHandle()
+		if h == nil {
+			h = &Handle{}
+		}
+		h.c = c
+		c.handles = append(c.handles, h)
+		return h
+	}
+	return &Handle{c: c}
 }
 
 // ioDispatch is the per-I/O-node leg of one transfer: the request
@@ -84,6 +160,15 @@ func (c *Client) scratch() []ioDispatch {
 	return c.dispatches
 }
 
+// newGroup returns an empty open group, pooled when the file system
+// has an arena.
+func (c *Client) newGroup(mode IOMode) *openGroup {
+	if a := c.fs.arena; a != nil {
+		return a.getGroup(mode)
+	}
+	return &openGroup{mode: mode}
+}
+
 // Handle is an open file descriptor on one node.
 type Handle struct {
 	c       *Client
@@ -124,11 +209,14 @@ func (c *Client) Open(p *sim.Proc, name string, flags int, mode IOMode) (*Handle
 	f.opens++
 	c.fs.opens++
 	c.fs.modeCounts[mode]++
-	h := &Handle{c: c, f: f, flags: flags, mode: mode}
+	h := c.newHandle()
+	h.f = f
+	h.flags = flags
+	h.mode = mode
 	if mode != Mode0 {
 		g := f.groups[c.job]
 		if g == nil || g.mode != mode {
-			g = &openGroup{mode: mode}
+			g = c.newGroup(mode)
 			f.groups[c.job] = g
 		}
 		g.members = append(g.members, c.node)
@@ -161,7 +249,8 @@ func (h *Handle) FileID() uint64 { return h.f.id }
 func (h *Handle) Size() int64 { return h.f.size }
 
 // Pointer returns the handle's current file pointer (the shared
-// pointer for modes 1-3).
+// pointer for modes 1-3). After Close it returns the pointer as of
+// the close.
 func (h *Handle) Pointer() int64 {
 	if h.group != nil {
 		return h.group.pointer
@@ -430,6 +519,11 @@ func (h *Handle) Close(p *sim.Proc) error {
 	h.c.metadataDelay(p)
 	h.f.opens--
 	if h.group != nil {
+		// Detach from the group, snapshotting the shared pointer so
+		// Pointer() on the closed handle answers from the moment of
+		// the close rather than reading a group that may be pooled
+		// and serving a later open.
+		h.pointer = h.group.pointer
 		for i, m := range h.group.members {
 			if m == h.c.node {
 				h.group.members = append(h.group.members[:i], h.group.members[i+1:]...)
@@ -441,7 +535,13 @@ func (h *Handle) Close(p *sim.Proc) error {
 			h.group.wakeAll()
 		} else {
 			delete(h.f.groups, h.c.job)
+			// No members means no waiters; the group can serve the
+			// next open.
+			if a := h.c.fs.arena; a != nil {
+				a.putGroup(h.group)
+			}
 		}
+		h.group = nil
 	}
 	h.c.tracer.Record(trace.Event{
 		Type: trace.EvClose, Job: h.c.job, File: h.f.id, Size: h.f.size, Mode: uint8(h.mode),

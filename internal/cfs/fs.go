@@ -150,6 +150,7 @@ type FileSystem struct {
 	cfg     Config
 	tp      Transport
 	ionodes []*IONode
+	arena   *Arena // optional cross-study pools; nil allocates fresh
 
 	byName map[string]*file
 	byID   map[uint64]*file
@@ -175,6 +176,29 @@ func New(k *sim.Kernel, cfg Config, tp Transport) *FileSystem {
 		fs.ionodes = append(fs.ionodes, NewIONode(k, i, cfg.IONode))
 	}
 	return fs
+}
+
+// SetArena makes the file system draw block tables and clients from
+// the given cross-study pool. Call it right after New, before any
+// file is created.
+func (fs *FileSystem) SetArena(a *Arena) { fs.arena = a }
+
+// Recycle returns every file's storage -- block tables, open groups,
+// and the file structs themselves -- to the arena. Call it once the
+// simulation is over and the trace collected; the file system must
+// not be used afterwards.
+func (fs *FileSystem) Recycle() {
+	if fs.arena == nil {
+		return
+	}
+	for id, f := range fs.byID {
+		fs.arena.putDense(f.blocks.dense)
+		f.blocks.dense = nil
+		f.blocks.sparse = nil
+		fs.arena.putFile(f)
+		delete(fs.byID, id)
+	}
+	clear(fs.byName)
 }
 
 // Config returns the file-system configuration.
@@ -213,11 +237,18 @@ func (fs *FileSystem) lookup(name string) (*file, bool) {
 // create registers a new file.
 func (fs *FileSystem) create(name string, job uint32) *file {
 	fs.nextID++
-	f := &file{
-		id:           fs.nextID,
-		name:         name,
-		groups:       make(map[uint32]*openGroup),
-		createdByJob: job,
+	var f *file
+	if fs.arena != nil {
+		f = fs.arena.getFile()
+	}
+	if f == nil {
+		f = &file{groups: make(map[uint32]*openGroup)}
+	}
+	f.id = fs.nextID
+	f.name = name
+	f.createdByJob = job
+	if fs.arena != nil && f.blocks.dense == nil {
+		f.blocks.dense = fs.arena.getDense()
 	}
 	fs.byName[name] = f
 	fs.byID[f.id] = f
@@ -275,6 +306,13 @@ func (fs *FileSystem) removeFile(f *file) {
 		io.freeBlock(db)
 		io.invalidate(f.id, []int64{fb})
 	})
+	// The deleted file's block table can serve a later file: handles
+	// still open on it observe ErrDeleted before ever touching blocks.
+	if fs.arena != nil {
+		fs.arena.putDense(f.blocks.dense)
+		f.blocks.dense = nil
+		f.blocks.sparse = nil
+	}
 }
 
 func (fs *FileSystem) String() string {

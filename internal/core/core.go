@@ -12,6 +12,15 @@
 // configuration of Section 4.8) run on the trace a study produces:
 //
 //	fig8 := core.RunFig8(result.Events, result.BlockBytes())
+//
+// Many studies -- seed replications, scale sweeps, workload or
+// machine variants -- run in parallel through the sweep engine, which
+// fans specs across worker goroutines with one reusable Arena each
+// and merges outcomes deterministically in spec order:
+//
+//	specs := core.CrossSpecs([]uint64{1, 2, 3, 4}, []float64{0.05}, nil, nil)
+//	sweep := core.RunSweep(ctx, core.SweepConfig{Specs: specs})
+//	fmt.Print(sweep.Format())
 package core
 
 import (
@@ -35,13 +44,26 @@ type Config struct {
 	Machine *machine.Config
 }
 
-// DefaultConfig returns a study at the given scale (clamped to a
-// minimum of 0.01) with the calibrated workload.
-func DefaultConfig(seed uint64, scale float64) Config {
-	if scale <= 0.01 {
-		scale = 0.01
+// MinScale is the smallest supported study scale: every entry point
+// clamps smaller (or unset) scales up to it, so a zero-value Config
+// runs a 1% study rather than silently simulating the full 156-hour
+// population.
+const MinScale = 0.01
+
+// normalized returns the config with its scale clamped to MinScale.
+// It is the single clamping point: DefaultConfig, RunStudy, and the
+// sweep engine all apply it.
+func (cfg Config) normalized() Config {
+	if cfg.Scale < MinScale {
+		cfg.Scale = MinScale
 	}
-	return Config{Seed: seed, Scale: scale}
+	return cfg
+}
+
+// DefaultConfig returns a study at the given scale (clamped to
+// MinScale) with the calibrated workload.
+func DefaultConfig(seed uint64, scale float64) Config {
+	return Config{Seed: seed, Scale: scale}.normalized()
 }
 
 // Result is everything a study produces.
@@ -66,9 +88,14 @@ func (r *Result) BlockBytes() int64 { return int64(r.Header.BlockBytes) }
 // all instrumented CFS activity, postprocesses the trace, and analyzes
 // it.
 func RunStudy(cfg Config) *Result {
-	if cfg.Scale <= 0 {
-		cfg.Scale = 1
-	}
+	return runStudy(cfg, nil)
+}
+
+// runStudy is the study pipeline shared by RunStudy (a == nil,
+// everything freshly allocated) and Arena.RunStudy (storage drawn
+// from and returned to the arena's pools).
+func runStudy(cfg Config, a *Arena) *Result {
+	cfg = cfg.normalized()
 	wp := workload.Default(cfg.Seed)
 	if cfg.Workload != nil {
 		wp = *cfg.Workload
@@ -89,14 +116,32 @@ func RunStudy(cfg Config) *Result {
 		mc.FS.IONode.Disk.CapacityBytes *= grow
 	}
 
-	k := sim.New()
-	m := machine.New(k, mc)
+	var k *sim.Kernel
+	var mach *machine.Arena
+	if a != nil {
+		a.kernel.Reset()
+		k = a.kernel
+		mach = &a.mach
+	} else {
+		k = sim.New()
+	}
+	m := machine.NewWith(k, mc, mach)
 	gen := workload.NewGenerator(wp)
 	horizon := gen.Install(m)
 	k.Run()
 	tr := m.FinishTracing()
-	events := trace.Postprocess(tr)
-	report := analysis.Analyze(tr.Header, events, horizon)
+	var events []trace.Event
+	var report *analysis.Report
+	if a != nil {
+		// The trace is collected: the file system's block tables can
+		// serve the next study even while this one is analyzed.
+		m.FS().Recycle()
+		events = trace.PostprocessInto(tr, &a.mach.Trace)
+		report = analysis.AnalyzeInto(&a.scratch, tr.Header, events, horizon)
+	} else {
+		events = trace.Postprocess(tr)
+		report = analysis.Analyze(tr.Header, events, horizon)
+	}
 	return &Result{
 		Header:        tr.Header,
 		Trace:         tr,
@@ -116,28 +161,35 @@ type Fig8Result struct {
 }
 
 // RunFig8 reproduces Figure 8: per-job hit-rate distributions for
-// compute-node caches of 1, 10, and 50 one-block buffers.
+// compute-node caches of 1, 10, and 50 one-block buffers. The cache
+// sizes are independent simulations over the same immutable event
+// slice, so they run in parallel; results are merged in size order.
 func RunFig8(events []trace.Event, blockBytes int64) []Fig8Result {
-	var out []Fig8Result
-	for _, buffers := range []int{1, 10, 50} {
-		out = append(out, Fig8Result{
-			Buffers: buffers,
-			Jobs:    cachesim.ComputeNodeCache(events, blockBytes, buffers),
-		})
-	}
+	buffers := []int{1, 10, 50}
+	out := make([]Fig8Result, len(buffers))
+	parallelEach(nil, len(buffers), 0, func(_, i int) {
+		out[i] = Fig8Result{
+			Buffers: buffers[i],
+			Jobs:    cachesim.ComputeNodeCache(events, blockBytes, buffers[i]),
+		}
+	})
 	return out
 }
 
 // Fig9Sweep reproduces one Figure 9 curve: hit rate as a function of
-// total buffer count for the given policy and I/O-node count.
+// total buffer count for the given policy and I/O-node count. Each
+// buffer count is an independent simulation over the same immutable
+// event slice, so the sweep fans out across cores; results are merged
+// in buffer-count order.
 func Fig9Sweep(events []trace.Event, blockBytes int64, ioNodes int, policy cachesim.Policy, bufferCounts []int) []cachesim.IONodeResult {
-	var out []cachesim.IONodeResult
-	for _, b := range bufferCounts {
+	out := make([]cachesim.IONodeResult, len(bufferCounts))
+	parallelEach(nil, len(bufferCounts), 0, func(_, i int) {
+		b := bufferCounts[i]
 		if b < ioNodes {
 			b = ioNodes
 		}
-		out = append(out, cachesim.IONodeCache(events, blockBytes, ioNodes, b, policy))
-	}
+		out[i] = cachesim.IONodeCache(events, blockBytes, ioNodes, b, policy)
+	})
 	return out
 }
 

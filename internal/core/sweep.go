@@ -1,0 +1,293 @@
+// The sweep engine: the paper's real use case is not one study but
+// many -- seed replications for confidence intervals, scale and
+// workload-mixture sweeps, machine-variant comparisons -- and each
+// study is an independent, deterministic simulation. RunSweep fans a
+// deterministic list of study specs across a pool of worker
+// goroutines, one reusable Arena per worker, and merges the outcomes
+// in spec order, so the merged output is byte-identical regardless of
+// worker count (TestRunSweepWorkerCountInvariance pins this).
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// StudySpec is one study in a sweep: a label for reports plus the
+// study configuration.
+type StudySpec struct {
+	Label  string
+	Config Config
+}
+
+// SweepConfig selects the specs to run and how to run them.
+type SweepConfig struct {
+	Specs []StudySpec
+	// Workers is the worker-goroutine count; <= 0 uses GOMAXPROCS.
+	// The merged result is identical for every worker count.
+	Workers int
+	// KeepEvents copies each study's postprocessed event stream into
+	// its outcome (for feeding cache experiments); costs one event
+	// slice per study.
+	KeepEvents bool
+	// KeepReports retains each study's full Report instead of
+	// recycling its statistics storage into the worker arena.
+	KeepReports bool
+}
+
+// StudyOutcome is one study's results within a sweep.
+type StudyOutcome struct {
+	Spec StudySpec
+	// Done is false when the sweep was cancelled before this spec ran.
+	Done bool
+
+	ReportText string           // Report.Format(), always retained
+	Report     *analysis.Report // non-nil only with KeepReports
+	Events     []trace.Event    // non-nil only with KeepEvents
+	Header     trace.Header
+
+	Horizon       sim.Time
+	EventCount    int
+	TraceRecords  int64
+	TraceMessages int64
+	DiskOps       int64
+}
+
+// SweepResult is a sweep's merged output, in spec order.
+type SweepResult struct {
+	Outcomes []StudyOutcome
+	Workers  int
+	// Elapsed is wall time; informational only and never part of
+	// Format's deterministic output.
+	Elapsed time.Duration
+	// Err records the context error when the sweep was cancelled.
+	Err error
+}
+
+// RunSweep runs every spec across a pool of workers and merges the
+// outcomes in spec order. Each worker owns one Arena, so its second
+// and later studies reuse the first's storage. Cancelling the context
+// stops workers between studies; already-finished outcomes are kept
+// and unrun specs are left with Done == false.
+func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(cfg.Specs)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	res := &SweepResult{Outcomes: make([]StudyOutcome, n), Workers: workers}
+	for i := range res.Outcomes {
+		res.Outcomes[i].Spec = cfg.Specs[i]
+	}
+	if n == 0 {
+		return res
+	}
+	start := time.Now()
+	arenas := make([]*Arena, workers)
+	parallelEach(ctx, n, workers, func(w, i int) {
+		if arenas[w] == nil {
+			arenas[w] = NewArena()
+		}
+		res.Outcomes[i] = runSpec(arenas[w], cfg, cfg.Specs[i])
+	})
+	res.Elapsed = time.Since(start)
+	res.Err = ctx.Err()
+	return res
+}
+
+// runSpec runs one study on the worker's arena, copies out what the
+// sweep retains, and recycles the rest.
+func runSpec(a *Arena, sc SweepConfig, spec StudySpec) StudyOutcome {
+	r := a.RunStudy(spec.Config)
+	out := StudyOutcome{
+		Spec:          spec,
+		Done:          true,
+		ReportText:    r.Report.Format(),
+		Header:        r.Header,
+		Horizon:       r.Horizon,
+		EventCount:    len(r.Events),
+		TraceRecords:  r.TraceRecords,
+		TraceMessages: r.TraceMessages,
+		DiskOps:       r.DiskOps,
+	}
+	if sc.KeepEvents {
+		out.Events = append([]trace.Event(nil), r.Events...)
+	}
+	if sc.KeepReports {
+		out.Report = r.Report
+		r.Report = nil // keep Recycle from reclaiming it
+	}
+	a.Recycle(r)
+	return out
+}
+
+// CrossSpecs builds the deterministic spec list for a sweep over the
+// cross product seed x scale x workload-variant x machine-variant,
+// in that nesting order (seeds outermost). Empty seeds default to
+// {42}, empty scales to {0.1}; nil workload and machine slices mean
+// "calibrated default" and contribute no label component.
+func CrossSpecs(seeds []uint64, scales []float64, workloads []*workload.Params, machines []*machine.Config) []StudySpec {
+	if len(seeds) == 0 {
+		seeds = []uint64{42}
+	}
+	if len(scales) == 0 {
+		scales = []float64{0.1}
+	}
+	wls := []*workload.Params{nil}
+	if len(workloads) > 0 {
+		wls = workloads
+	}
+	mcs := []*machine.Config{nil}
+	if len(machines) > 0 {
+		mcs = machines
+	}
+	specs := make([]StudySpec, 0, len(seeds)*len(scales)*len(wls)*len(mcs))
+	for _, seed := range seeds {
+		for _, scale := range scales {
+			for wi, wl := range wls {
+				for mi, mc := range mcs {
+					cfg := Config{Seed: seed, Scale: scale, Workload: wl, Machine: mc}.normalized()
+					// Label the clamped scale, so a sub-MinScale input
+					// is visibly the study that actually runs.
+					label := fmt.Sprintf("seed=%d scale=%g", seed, cfg.Scale)
+					if len(workloads) > 0 {
+						label += fmt.Sprintf(" wl=%d", wi)
+					}
+					if len(machines) > 0 {
+						label += fmt.Sprintf(" mc=%d", mi)
+					}
+					specs = append(specs, StudySpec{Label: label, Config: cfg})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// Format renders the sweep's merged output: one row per completed
+// study plus min/median/max aggregate columns over the headline
+// per-study metrics. The text depends only on the outcomes, never on
+// timing or worker count.
+func (r *SweepResult) Format() string {
+	var b strings.Builder
+	done := 0
+	for i := range r.Outcomes {
+		if r.Outcomes[i].Done {
+			done++
+		}
+	}
+	fmt.Fprintf(&b, "Sweep: %d studies\n", len(r.Outcomes))
+	if done < len(r.Outcomes) {
+		fmt.Fprintf(&b, "  (cancelled: only %d completed)\n", done)
+	}
+	fmt.Fprintf(&b, "%-28s  %10s  %10s  %9s  %10s  %10s\n",
+		"study", "events", "records", "messages", "disk ops", "horizon(h)")
+	var events, records, messages, diskOps, horizon []float64
+	for i := range r.Outcomes {
+		o := &r.Outcomes[i]
+		if !o.Done {
+			continue
+		}
+		label := o.Spec.Label
+		if label == "" {
+			label = fmt.Sprintf("spec %d", i)
+		}
+		h := o.Horizon.ToSeconds() / 3600
+		fmt.Fprintf(&b, "%-28s  %10d  %10d  %9d  %10d  %10.2f\n",
+			label, o.EventCount, o.TraceRecords, o.TraceMessages, o.DiskOps, h)
+		events = append(events, float64(o.EventCount))
+		records = append(records, float64(o.TraceRecords))
+		messages = append(messages, float64(o.TraceMessages))
+		diskOps = append(diskOps, float64(o.DiskOps))
+		horizon = append(horizon, h)
+	}
+	if done > 0 {
+		fmt.Fprintf(&b, "\nAggregate over %d studies (min / median / max):\n", done)
+		aggRow(&b, "events", events, "%.0f")
+		aggRow(&b, "trace records", records, "%.0f")
+		aggRow(&b, "trace messages", messages, "%.0f")
+		aggRow(&b, "disk ops", diskOps, "%.0f")
+		aggRow(&b, "horizon hours", horizon, "%.2f")
+	}
+	return b.String()
+}
+
+// aggRow prints one min/median/max aggregate line.
+func aggRow(b *strings.Builder, name string, vals []float64, numFmt string) {
+	mn, md, mx := minMedianMax(vals)
+	f := numFmt + " / " + numFmt + " / " + numFmt + "\n"
+	fmt.Fprintf(b, "  %-16s "+f, name, mn, md, mx)
+}
+
+// minMedianMax returns the order statistics of vals (which it sorts).
+// The median of an even count is the mean of the two middle values.
+func minMedianMax(vals []float64) (mn, md, mx float64) {
+	if len(vals) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	md = vals[n/2]
+	if n%2 == 0 {
+		md = (vals[n/2-1] + vals[n/2]) / 2
+	}
+	return vals[0], md, vals[n-1]
+}
+
+// parallelEach runs fn(worker, i) for i in 0..n-1 across
+// min(workers, n) goroutines (GOMAXPROCS when workers <= 0). Indexes
+// are claimed from a shared atomic counter, each exactly once; the
+// worker id lets fn keep per-worker state (e.g. one Arena each). fn
+// must write only to its own index's state. A non-nil cancelled
+// context stops workers between items, leaving later indexes unrun.
+func parallelEach(ctx context.Context, n, workers int, fn func(worker, i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || (ctx != nil && ctx.Err() != nil) {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

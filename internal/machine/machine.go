@@ -127,8 +127,21 @@ func (t transport) FromIONode(ioNode, computeNode, bytes int) sim.Time {
 	return t.m.ioAttach[ioNode].LatencyFrom(computeNode, bytes)
 }
 
+// Arena bundles the cross-study pools a worker threads through every
+// machine it builds: the trace pipeline's chunk and scratch pools and
+// the file system's block-table and client pools. See core.Arena. The
+// zero value is ready to use; an Arena is not safe for concurrent use.
+type Arena struct {
+	Trace trace.Arena
+	CFS   cfs.Arena
+}
+
 // New builds the machine on the given kernel.
-func New(k *sim.Kernel, cfg Config) *Machine {
+func New(k *sim.Kernel, cfg Config) *Machine { return NewWith(k, cfg, nil) }
+
+// NewWith builds the machine on the given kernel, drawing reusable
+// storage from the arena when it is non-nil.
+func NewWith(k *sim.Kernel, cfg Config, arena *Arena) *Machine {
 	order, pow2 := orderFor(cfg.ComputeNodes)
 	if !pow2 {
 		panic(fmt.Sprintf("machine: compute nodes %d not a power of two", cfg.ComputeNodes))
@@ -151,6 +164,9 @@ func New(k *sim.Kernel, cfg Config) *Machine {
 	}
 	m.svcAttach = m.net.Attach(cfg.ServiceHost)
 	m.fs = cfs.New(k, cfg.FS, transport{m})
+	if arena != nil {
+		m.fs.SetArena(&arena.CFS)
+	}
 
 	// Per-node drifting clocks; the collector's clock is the reference
 	// timebase (offset 0, drift 0), so corrected trace times are
@@ -168,23 +184,33 @@ func New(k *sim.Kernel, cfg Config) *Machine {
 		BufferBytes:  uint32(cfg.TraceBufferBytes),
 		Seed:         cfg.Seed,
 	})
+	if arena != nil {
+		m.collector.SetArena(&arena.Trace)
+	}
 	// Per-node trace buffers ship blocks over the cube to the service
 	// node's collector.
 	for n := 0; n < cfg.ComputeNodes; n++ {
 		node := n
-		m.nodeBuffers = append(m.nodeBuffers, trace.NewNodeBuffer(
+		nb := trace.NewNodeBuffer(
 			uint16(node), m.clocks[node], cfg.TraceBufferBytes,
 			func(blk trace.Block) {
 				bytes := len(blk.Events) * trace.EventSize
 				m.svcAttach.SendTo(node, bytes, func() {
 					m.collector.Deliver(blk)
 				})
-			}))
+			})
+		if arena != nil {
+			nb.SetArena(&arena.Trace)
+		}
+		m.nodeBuffers = append(m.nodeBuffers, nb)
 	}
 	// Job starts/ends are logged by the resource manager on the
 	// service node itself: no drift, no network hop.
 	m.jobLog = trace.NewNodeBuffer(uint16(cfg.ComputeNodes), collectorClock,
 		cfg.TraceBufferBytes, func(blk trace.Block) { m.collector.Deliver(blk) })
+	if arena != nil {
+		m.jobLog.SetArena(&arena.Trace)
+	}
 	return m
 }
 
@@ -282,6 +308,10 @@ func (m *Machine) startJob(qj queuedJob, base int) {
 			if spec.Body != nil {
 				spec.Body(ctx)
 			}
+			// The node program is done: its client (and the client's
+			// transfer dispatch tables) can serve the next job. With no
+			// arena on the file system this is a no-op.
+			ctx.CFS.Release()
 			m.nodeDone(rj, node)
 		})
 	}

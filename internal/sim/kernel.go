@@ -55,6 +55,22 @@ type Kernel struct {
 // New returns a fresh kernel with the clock at zero.
 func New() *Kernel { return &Kernel{} }
 
+// Reset returns the kernel to its initial state -- clock at zero, no
+// pending events, sequence counter rewound -- while keeping the event
+// heap's and FIFO's backing arrays. A kernel reused across simulations
+// (see core.Arena) therefore stops allocating queue storage once the
+// first simulation has sized it. Resetting a kernel with live
+// processes is not supported; call it only after Run has drained the
+// queue.
+func (k *Kernel) Reset() {
+	k.now = 0
+	k.seq = 0
+	k.stopped = false
+	k.failure = nil
+	k.heap.reset()
+	k.fifo.reset()
+}
+
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 

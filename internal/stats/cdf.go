@@ -45,6 +45,16 @@ func (c *CDF) AddN(v float64, n int) {
 // Len reports the number of samples (counting multiplicity).
 func (c *CDF) Len() int { return int(c.total) }
 
+// Reset empties the CDF while keeping its backing arrays, so a pooled
+// CDF (see analysis.Scratch) accumulates the next study's samples
+// without reallocating.
+func (c *CDF) Reset() {
+	c.entries = c.entries[:0]
+	c.cum = c.cum[:0]
+	c.total = 0
+	c.sorted = false
+}
+
 // sortSamples sorts entries by value, merges duplicates, and rebuilds
 // the cumulative-count table.
 func (c *CDF) sortSamples() {

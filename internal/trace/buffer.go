@@ -35,6 +35,7 @@ type NodeBuffer struct {
 	limit   int // records per block
 	pending []Event
 	flush   func(Block)
+	arena   *Arena // optional chunk pool; nil allocates fresh chunks
 
 	recorded int64
 	flushes  int64
@@ -53,11 +54,24 @@ func NewNodeBuffer(node uint16, clock Clock, bufferBytes int, flush func(Block))
 		clock: clock,
 		limit: limit,
 		flush: flush,
-		// One full-size chunk per block: records append into
-		// preallocated capacity, so a block costs one allocation
+		// Chunks are allocated lazily on first Record (idle nodes never
+		// pay) and full-size: records append into preallocated capacity,
+		// so a block costs one allocation -- or none, with an arena --
 		// instead of a doubling growth chain per fill cycle.
-		pending: make([]Event, 0, limit),
 	}
+}
+
+// SetArena makes the buffer draw its chunks from the given pool
+// instead of allocating; the machine wires every node buffer to the
+// study arena's pool. Call it before the first Record.
+func (b *NodeBuffer) SetArena(a *Arena) { b.arena = a }
+
+// newChunk returns an empty full-size chunk for the next block.
+func (b *NodeBuffer) newChunk() []Event {
+	if b.arena != nil {
+		return b.arena.getChunk(b.limit)
+	}
+	return make([]Event, 0, b.limit)
 }
 
 // Node returns the owning compute node.
@@ -74,6 +88,9 @@ func (b *NodeBuffer) Flushes() int64 { return b.flushes }
 func (b *NodeBuffer) Record(ev Event) {
 	ev.Node = b.node
 	ev.Time = int64(b.clock.Now())
+	if b.pending == nil {
+		b.pending = b.newChunk()
+	}
 	b.pending = append(b.pending, ev)
 	b.recorded++
 	if len(b.pending) >= b.limit {
@@ -92,9 +109,10 @@ func (b *NodeBuffer) Flush() {
 		SendLocal: int64(b.clock.Now()),
 		Events:    b.pending,
 	}
-	// The collector retains the shipped events, so start a fresh chunk
-	// rather than reusing the backing array.
-	b.pending = make([]Event, 0, b.limit)
+	// The collector retains the shipped events, so the next Record
+	// starts a fresh chunk (from the arena pool, when present) rather
+	// than reusing the backing array.
+	b.pending = nil
 	b.flushes++
 	b.flush(blk)
 }

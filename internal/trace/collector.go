@@ -18,6 +18,15 @@ func NewCollector(clock Clock, header Header) *Collector {
 	return &Collector{clock: clock, header: header}
 }
 
+// SetArena seeds the collector's block slice from the arena's pooled
+// backing (returned there by Arena.ReclaimTrace). Call it before the
+// first Deliver.
+func (c *Collector) SetArena(a *Arena) {
+	if a != nil && len(c.blocks) == 0 {
+		c.blocks = a.takeBlocks()
+	}
+}
+
 // Deliver receives one block from the network, stamping its arrival
 // time with the collector's clock.
 func (c *Collector) Deliver(b Block) {

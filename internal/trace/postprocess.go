@@ -71,13 +71,22 @@ func FitClocks(t *Trace) map[uint16]ClockFit {
 // returns a single corrected, time-ordered event stream. Events keep
 // their original per-node order when corrected timestamps tie.
 func Postprocess(t *Trace) []Event {
+	return PostprocessInto(t, nil)
+}
+
+// PostprocessInto is Postprocess drawing its working storage -- the
+// flattened copy, the sort keys, and the returned stream itself --
+// from the arena. The returned slice is owned by the arena: it is
+// valid only until the arena's next PostprocessInto call. A nil arena
+// allocates fresh storage (identical to Postprocess).
+func PostprocessInto(t *Trace, a *Arena) []Event {
 	fits := FitClocks(t)
 	return flattenSorted(t, func(node uint16) ClockFit {
 		if f, ok := fits[node]; ok {
 			return f
 		}
 		return IdentityFit
-	})
+	}, a)
 }
 
 // PostprocessRaw flattens and sorts the trace on the raw local
@@ -85,15 +94,33 @@ func Postprocess(t *Trace) []Event {
 // event-order error the drift correction removes (an ablation in
 // DESIGN.md).
 func PostprocessRaw(t *Trace) []Event {
-	return flattenSorted(t, func(uint16) ClockFit { return IdentityFit })
+	return flattenSorted(t, func(uint16) ClockFit { return IdentityFit }, nil)
 }
 
-func flattenSorted(t *Trace, fitFor func(uint16) ClockFit) []Event {
+// sortKey orders one flattened event by (corrected time, flatten
+// index); see flattenSorted.
+type sortKey struct {
+	time int64
+	idx  int32
+}
+
+func flattenSorted(t *Trace, fitFor func(uint16) ClockFit, a *Arena) []Event {
 	var n int
 	for _, b := range t.Blocks {
 		n += len(b.Events)
 	}
-	events := make([]Event, 0, n)
+	var events []Event
+	var keys []sortKey
+	var out []Event
+	if a != nil {
+		events = sliceFor(&a.flat, n)[:0]
+		keys = sliceFor(&a.keys, n)
+		out = sliceFor(&a.out, n)
+	} else {
+		events = make([]Event, 0, n)
+		keys = make([]sortKey, n)
+		out = make([]Event, n)
+	}
 	for _, b := range t.Blocks {
 		fit := fitFor(b.Node)
 		for _, ev := range b.Events {
@@ -106,11 +133,6 @@ func flattenSorted(t *Trace, fitFor func(uint16) ClockFit) []Event {
 	// reflection, and the index tiebreak yields exactly the order a
 	// stable sort of the events would. One pass then gathers the events
 	// into place.
-	type sortKey struct {
-		time int64
-		idx  int32
-	}
-	keys := make([]sortKey, n)
 	for i := range events {
 		keys[i] = sortKey{time: events[i].Time, idx: int32(i)}
 	}
@@ -120,11 +142,20 @@ func flattenSorted(t *Trace, fitFor func(uint16) ClockFit) []Event {
 		}
 		return keys[i].idx < keys[j].idx
 	})
-	out := make([]Event, n)
 	for i, k := range keys {
 		out[i] = events[k.idx]
 	}
 	return out
+}
+
+// sliceFor resizes *s to length n, growing the backing array only when
+// the pooled capacity is insufficient, and returns it.
+func sliceFor[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	*s = (*s)[:n]
+	return *s
 }
 
 // OrderError counts adjacent inversions between a candidate event
