@@ -17,7 +17,6 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/core"
-	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -57,19 +56,7 @@ func main() {
 }
 
 func runFig8(events []trace.Event, blockBytes int64) {
-	fmt.Println("Figure 8: compute-node caching (read-only files, LRU, 4 KB buffers)")
-	fmt.Println("CDF of per-job hit rates:")
-	for _, fr := range core.RunFig8(events, blockBytes) {
-		var cdf stats.CDF
-		for _, j := range fr.Jobs {
-			cdf.Add(100 * j.Rate())
-		}
-		fmt.Printf("\n  %d buffer(s), %d jobs:\n", fr.Buffers, len(fr.Jobs))
-		fmt.Printf("  %10s  %8s\n", "hit rate", "CDF")
-		for pct := 0; pct <= 100; pct += 10 {
-			fmt.Printf("  %9d%%  %8.4f\n", pct, cdf.At(float64(pct)))
-		}
-	}
+	fmt.Print(core.FormatFig8(core.RunFig8(events, blockBytes)))
 }
 
 func runFig9(events []trace.Event, blockBytes int64, ioNodes int) {
@@ -89,12 +76,5 @@ func runFig9(events []trace.Event, blockBytes int64, ioNodes int) {
 }
 
 func runCombined(events []trace.Event, blockBytes int64) {
-	comb := core.RunCombined(events, blockBytes)
-	fmt.Println("Combined caches (Section 4.8): one 4 KB buffer per compute node")
-	fmt.Println("in front of 10 I/O nodes with 50 buffers each")
-	fmt.Printf("  I/O-node hit rate, no compute caches:   %.1f%%\n", 100*comb.IONodeAlone.Rate())
-	fmt.Printf("  I/O-node hit rate, with compute caches: %.1f%%\n", 100*comb.IONodeFiltered.Rate())
-	fmt.Printf("  reduction: %.1f points (the paper measured ~3)\n",
-		100*(comb.IONodeAlone.Rate()-comb.IONodeFiltered.Rate()))
-	fmt.Printf("  requests absorbed at compute nodes: %d\n", comb.ComputeHits)
+	fmt.Print(core.FormatCombined(core.RunCombined(events, blockBytes)))
 }

@@ -7,6 +7,7 @@
 //
 //	charisma [-scale 0.1] [-seed 42] [-fig N | -table N | -report] [-trace file]
 //	charisma -sweep [-seeds 1-32] [-scales 0.05,0.1] [-workers 0]
+//	charisma -scenario testdata/scenarios/fig8.json [-workers 0]
 //
 // With -fig or -table only that figure or table is printed; -report
 // (the default) prints everything. -trace additionally writes the raw
@@ -16,7 +17,13 @@
 // worker goroutines (one reusable simulation arena per worker; see
 // core.RunSweep) and prints the aggregate report with min/median/max
 // columns. -cpuprofile and -memprofile capture pprof profiles of
-// either mode.
+// any mode.
+//
+// -scenario runs a declarative scenario spec (see internal/scenario
+// and the README's "Scenarios" section): machine presets, workload
+// mixes by archetype name, seed/scale axes, and trace-driven cache
+// experiments, lowered onto the same sweep engine. -workers overrides
+// the spec's worker count; output is byte-identical either way.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -41,6 +49,7 @@ func main() {
 	report := flag.Bool("report", false, "print the full report (default when no -fig/-table)")
 	traceOut := flag.String("trace", "", "also write the raw trace to this file")
 	sweep := flag.Bool("sweep", false, "run a parallel study sweep over -seeds x -scales")
+	scenarioPath := flag.String("scenario", "", "run the declarative scenario spec at this path")
 	seeds := flag.String("seeds", "", "sweep seeds: a range '1-32' or list '1,5,9' (default: -seed)")
 	scales := flag.String("scales", "", "sweep scales: comma-separated list (default: -scale)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 = GOMAXPROCS")
@@ -83,6 +92,10 @@ func main() {
 		}
 	}()
 
+	if *scenarioPath != "" {
+		runScenario(*scenarioPath, *workers)
+		return
+	}
 	if *sweep {
 		runSweep(*seeds, *scales, *seed, *scale, *workers)
 		return
@@ -111,6 +124,25 @@ func main() {
 		res.TraceRecords, res.TraceMessages,
 		100*float64(res.TraceMessages)/float64(max64(res.TraceRecords, 1)),
 		res.DiskOps)
+}
+
+// runScenario loads, validates, and runs a declarative scenario,
+// printing the deterministic report on stdout and timing on stderr.
+func runScenario(path string, workers int) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fatal(err)
+	}
+	if workers != 0 {
+		spec.Workers = workers
+	}
+	res, err := core.RunScenario(context.Background(), spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Format())
+	fmt.Fprintf(os.Stderr, "charisma: scenario %s: %d studies on %d workers in %v\n",
+		spec.Name, len(res.Sweep.Outcomes), res.Sweep.Workers, res.Sweep.Elapsed.Round(1e6))
 }
 
 // runSweep executes the multi-study mode and prints the aggregate

@@ -8,6 +8,7 @@ package cachesim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/trace"
@@ -160,25 +161,64 @@ func ComputeNodeCache(events []trace.Event, blockBytes int64, buffers int) []Job
 // Policy selects the I/O-node cache replacement policy.
 type Policy int
 
-// Policies swept in Figure 9.
+// Replacement policies available to the I/O-node simulation: the
+// paper's Figure 9 pair (LRU, FIFO) plus the two approximations the
+// scenario engine sweeps against them (Clock second-chance and
+// segmented LRU).
 const (
 	LRU Policy = iota
 	FIFO
+	Clock
+	SLRU
 )
+
+// policyNames indexes Policy values; the order defines both String()
+// and the stable registry names used by scenario specs.
+var policyNames = [...]string{"LRU", "FIFO", "Clock", "SLRU"}
 
 // String names the policy.
 func (p Policy) String() string {
-	if p == LRU {
-		return "LRU"
+	if p < 0 || int(p) >= len(policyNames) {
+		return fmt.Sprintf("Policy(%d)", int(p))
 	}
-	return "FIFO"
+	return policyNames[p]
+}
+
+// AllPolicies returns every policy, in registry order.
+func AllPolicies() []Policy {
+	return []Policy{LRU, FIFO, Clock, SLRU}
+}
+
+// PolicyNames returns the stable registry names, in policy order.
+func PolicyNames() []string {
+	return append([]string(nil), policyNames[:]...)
+}
+
+// ParsePolicy resolves a registry name (case-insensitive) to its
+// policy.
+func ParsePolicy(name string) (Policy, error) {
+	for i, n := range policyNames {
+		if strings.EqualFold(name, n) {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("cachesim: unknown cache policy %q (known: %s)",
+		name, strings.Join(policyNames[:], ", "))
 }
 
 func newCache(p Policy, buffers int) cache.Cache {
-	if p == LRU {
+	switch p {
+	case LRU:
 		return cache.NewLRU(buffers)
+	case FIFO:
+		return cache.NewFIFO(buffers)
+	case Clock:
+		return cache.NewClock(buffers)
+	case SLRU:
+		return cache.NewSLRU(buffers)
+	default:
+		panic(fmt.Sprintf("cachesim: unknown policy %d", int(p)))
 	}
-	return cache.NewFIFO(buffers)
 }
 
 // IONodeResult is one point on a Figure 9 curve.
@@ -243,9 +283,16 @@ type CombinedResult struct {
 // measured only a ~3% drop, evidence that I/O-node hits come mostly
 // from *interprocess* locality that no per-node cache can capture.
 func Combined(events []trace.Event, blockBytes int64, ioNodes, buffersPerIONode int) CombinedResult {
+	return CombinedPolicy(events, blockBytes, ioNodes, buffersPerIONode, LRU)
+}
+
+// CombinedPolicy is Combined with a selectable I/O-node replacement
+// policy (the compute-node layer stays a single LRU buffer, the
+// paper's configuration).
+func CombinedPolicy(events []trace.Event, blockBytes int64, ioNodes, buffersPerIONode int, policy Policy) CombinedResult {
 	total := ioNodes * buffersPerIONode
 	res := CombinedResult{
-		IONodeAlone: IONodeCache(events, blockBytes, ioNodes, total, LRU),
+		IONodeAlone: IONodeCache(events, blockBytes, ioNodes, total, policy),
 	}
 
 	ro := ReadOnlyFiles(events)
@@ -256,9 +303,9 @@ func Combined(events []trace.Event, blockBytes int64, ioNodes, buffersPerIONode 
 	frontCaches := make(map[nodeKey]*cache.LRU)
 	ioCaches := make([]cache.Cache, ioNodes)
 	for i := range ioCaches {
-		ioCaches[i] = newCache(LRU, buffersPerIONode)
+		ioCaches[i] = newCache(policy, buffersPerIONode)
 	}
-	filtered := IONodeResult{Policy: LRU, IONodes: ioNodes, TotalBuffers: total}
+	filtered := IONodeResult{Policy: policy, IONodes: ioNodes, TotalBuffers: total}
 
 	for i := range events {
 		ev := &events[i]

@@ -1,0 +1,213 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// crossPolicyEvents builds one mixed event slice shared by every
+// cross-policy test: a hot interprocess-shared set revisited between
+// cold sequential streams, per-node re-reads, strided requests, and a
+// few writes. All policies see exactly this slice.
+func crossPolicyEvents() []trace.Event {
+	var events []trace.Event
+	cold := int64(100000)
+	for round := 0; round < 60; round++ {
+		// Hot shared blocks, touched by several nodes (interprocess
+		// locality, the paper's main I/O-node cache effect).
+		for hot := int64(0); hot < 25; hot++ {
+			for node := uint16(0); node < 3; node++ {
+				events = append(events, read(1, node, 3, hot*4096, 4096))
+			}
+		}
+		// A cold stream that washes through the cache.
+		for i := 0; i < 200; i++ {
+			events = append(events, read(2, 1, 4, cold*4096, 4096))
+			cold++
+		}
+		// Per-node small sequential re-reads (intraprocess locality).
+		for i := int64(0); i < 10; i++ {
+			events = append(events, read(3, 2, 5, i*100, 100))
+		}
+		// Strided reads and checkpoint-style writes.
+		events = append(events, trace.Event{
+			Type: trace.EvReadStrided, Job: 4, Node: 3, File: 6,
+			Offset: int64(round%4) * 1024, Size: 1024, Stride: 8192, Count: 10,
+		})
+		events = append(events, write(5, 0, 7, int64(round)*4096, 4096))
+	}
+	return events
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	names := PolicyNames()
+	all := AllPolicies()
+	if len(names) != len(all) {
+		t.Fatalf("%d names, %d policies", len(names), len(all))
+	}
+	for i, p := range all {
+		if p.String() != names[i] {
+			t.Fatalf("policy %d: String=%q names[%d]=%q", i, p.String(), i, names[i])
+		}
+		got, err := ParsePolicy(names[i])
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", names[i], got, err)
+		}
+		// Case-insensitive.
+		if got, err := ParsePolicy(stringsLower(names[i])); err != nil || got != p {
+			t.Fatalf("ParsePolicy lowercase %q failed: %v, %v", names[i], got, err)
+		}
+	}
+	if _, err := ParsePolicy("second-chance"); err == nil {
+		t.Fatal("unknown policy name parsed")
+	}
+	if s := Policy(99).String(); s != "Policy(99)" {
+		t.Fatalf("out-of-range String() = %q", s)
+	}
+}
+
+func stringsLower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// TestIONodeCacheCrossPolicy runs the same event slice through every
+// policy at a ladder of buffer counts and checks the cross-policy
+// contracts: identical access counts (the trace decides accesses, the
+// policy only hits), hit counts within bounds, LRU monotone in buffer
+// count (it is a stack algorithm; FIFO and Clock may legally exhibit
+// Belady's anomaly), and every policy converging to the same
+// compulsory-miss-only hit count once the cache holds the whole
+// working set.
+func TestIONodeCacheCrossPolicy(t *testing.T) {
+	events := crossPolicyEvents()
+	buffers := []int{10, 50, 250, 1000, 4000, 20000}
+	const ioNodes = 10
+
+	results := make(map[Policy][]IONodeResult)
+	for _, p := range AllPolicies() {
+		for _, b := range buffers {
+			results[p] = append(results[p], IONodeCache(events, bs, ioNodes, b, p))
+		}
+	}
+
+	want := results[LRU][0].Accesses
+	if want == 0 {
+		t.Fatal("no accesses simulated")
+	}
+	for _, p := range AllPolicies() {
+		for i, r := range results[p] {
+			if r.Accesses != want {
+				t.Fatalf("%s @%d buffers: %d accesses, want %d (policy must not change the access stream)",
+					p, buffers[i], r.Accesses, want)
+			}
+			if r.Hits < 0 || r.Hits > r.Accesses {
+				t.Fatalf("%s @%d buffers: hits %d out of bounds", p, buffers[i], r.Hits)
+			}
+			if r.Policy != p || r.IONodes != ioNodes || r.TotalBuffers != buffers[i] {
+				t.Fatalf("%s @%d buffers: result metadata wrong: %+v", p, buffers[i], r)
+			}
+		}
+	}
+
+	// LRU is a stack algorithm: hit count is non-decreasing in size.
+	for i := 1; i < len(buffers); i++ {
+		if results[LRU][i].Hits < results[LRU][i-1].Hits {
+			t.Fatalf("LRU hits decreased with more buffers: %d @%d -> %d @%d",
+				results[LRU][i-1].Hits, buffers[i-1], results[LRU][i].Hits, buffers[i])
+		}
+	}
+	// Every policy: a cache bigger than the whole working set hits on
+	// everything but compulsory misses, so all policies converge.
+	last := len(buffers) - 1
+	for _, p := range AllPolicies() {
+		if got, want := results[p][last].Hits, results[LRU][last].Hits; got != want {
+			t.Fatalf("%s with the full working set resident: %d hits, want %d (all policies must converge)",
+				p, got, want)
+		}
+		if results[p][last].Hits <= results[p][0].Hits {
+			t.Fatalf("%s: full-working-set cache (%d hits) not better than minimal cache (%d hits)",
+				p, results[p][last].Hits, results[p][0].Hits)
+		}
+	}
+}
+
+// TestIONodeCacheSLRUScanResistance pins the reason SLRU is in the
+// policy set: on a hot-set-plus-scans workload it needs fewer buffers
+// than plain LRU for the same hit count.
+func TestIONodeCacheSLRUScanResistance(t *testing.T) {
+	events := crossPolicyEvents()
+	// 100 total buffers over 10 nodes: the hot set fits in a node's 10
+	// buffers, but each round's cold scan (20 blocks per node) exceeds
+	// them, flushing LRU; SLRU's protected segment keeps the hot set.
+	slru := IONodeCache(events, bs, 10, 100, SLRU)
+	lru := IONodeCache(events, bs, 10, 100, LRU)
+	if slru.Hits <= lru.Hits {
+		t.Fatalf("SLRU (%d hits) should beat LRU (%d hits) on a scan-heavy trace at this size",
+			slru.Hits, lru.Hits)
+	}
+}
+
+// TestCombinedCrossPolicy runs the combined experiment under every
+// policy: the compute-node front layer is policy-independent (always
+// single-buffer LRU), so absorbed requests are identical, and the
+// filtered I/O-node access count equals the unfiltered count minus
+// the absorbed requests' blocks.
+func TestCombinedCrossPolicy(t *testing.T) {
+	events := crossPolicyEvents()
+	var absorbed int64 = -1
+	for _, p := range AllPolicies() {
+		res := CombinedPolicy(events, bs, 10, 50, p)
+		if absorbed == -1 {
+			absorbed = res.ComputeHits
+		} else if res.ComputeHits != absorbed {
+			t.Fatalf("%s: compute-node layer absorbed %d requests, other policies absorbed %d",
+				p, res.ComputeHits, absorbed)
+		}
+		if res.IONodeAlone.Policy != p || res.IONodeFiltered.Policy != p {
+			t.Fatalf("%s: result policy metadata wrong: %+v", p, res)
+		}
+		if res.IONodeFiltered.Accesses > res.IONodeAlone.Accesses {
+			t.Fatalf("%s: filtering increased I/O-node accesses: %d > %d",
+				p, res.IONodeFiltered.Accesses, res.IONodeAlone.Accesses)
+		}
+		if res.IONodeAlone.Hits > res.IONodeAlone.Accesses ||
+			res.IONodeFiltered.Hits > res.IONodeFiltered.Accesses {
+			t.Fatalf("%s: hits exceed accesses: %+v", p, res)
+		}
+	}
+	if absorbed == 0 {
+		t.Fatal("workload exercised no compute-node absorption")
+	}
+	// Combined must stay the LRU special case.
+	if got, want := Combined(events, bs, 10, 50), CombinedPolicy(events, bs, 10, 50, LRU); got != want {
+		t.Fatalf("Combined != CombinedPolicy(LRU):\n%+v\n%+v", got, want)
+	}
+}
+
+// TestCombinedBufferMonotonicityLRU: growing the per-node buffer count
+// never loses LRU hits, with and without the compute-node layer.
+func TestCombinedBufferMonotonicityLRU(t *testing.T) {
+	events := crossPolicyEvents()
+	var prev CombinedResult
+	for i, per := range []int{5, 25, 100, 400} {
+		res := CombinedPolicy(events, bs, 10, per, LRU)
+		if i > 0 {
+			if res.IONodeAlone.Hits < prev.IONodeAlone.Hits {
+				t.Fatalf("alone hits fell from %d to %d at %d buffers/node",
+					prev.IONodeAlone.Hits, res.IONodeAlone.Hits, per)
+			}
+			if res.IONodeFiltered.Hits < prev.IONodeFiltered.Hits {
+				t.Fatalf("filtered hits fell from %d to %d at %d buffers/node",
+					prev.IONodeFiltered.Hits, res.IONodeFiltered.Hits, per)
+			}
+		}
+		prev = res
+	}
+}

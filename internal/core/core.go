@@ -27,6 +27,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cachesim"
 	"repro/internal/machine"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -38,9 +39,13 @@ type Config struct {
 	// Scale shrinks the full 156-hour, 3016-job study; 1.0 reproduces
 	// the paper's population, 0.05 runs in well under a second.
 	Scale float64
-	// Workload overrides the calibrated mixture when non-nil.
+	// Workload overrides the calibrated mixture when non-nil. Its
+	// Seed and Scale fields are ignored: Config.Seed and Config.Scale
+	// are stamped onto the copy the study runs, so one Params value
+	// can serve every (seed, scale) point of a sweep.
 	Workload *workload.Params
 	// Machine overrides the NAS machine configuration when non-nil.
+	// Its Seed field is likewise stamped from Config.Seed.
 	Machine *machine.Config
 }
 
@@ -99,12 +104,14 @@ func runStudy(cfg Config, a *Arena) *Result {
 	wp := workload.Default(cfg.Seed)
 	if cfg.Workload != nil {
 		wp = *cfg.Workload
+		wp.Seed = cfg.Seed
 	}
 	wp.Scale = cfg.Scale
 
 	mc := machine.NASConfig(cfg.Seed)
 	if cfg.Machine != nil {
 		mc = *cfg.Machine
+		mc.Seed = cfg.Seed
 	}
 	// The 7.6 GB volume cannot hold a full-scale three-week output
 	// load (real users archived results off-machine between runs, a
@@ -161,11 +168,16 @@ type Fig8Result struct {
 }
 
 // RunFig8 reproduces Figure 8: per-job hit-rate distributions for
-// compute-node caches of 1, 10, and 50 one-block buffers. The cache
-// sizes are independent simulations over the same immutable event
-// slice, so they run in parallel; results are merged in size order.
+// compute-node caches of 1, 10, and 50 one-block buffers.
 func RunFig8(events []trace.Event, blockBytes int64) []Fig8Result {
-	buffers := []int{1, 10, 50}
+	return RunFig8Buffers(events, blockBytes, []int{1, 10, 50})
+}
+
+// RunFig8Buffers is RunFig8 at caller-chosen cache sizes (the
+// scenario engine's fig8 axis). The cache sizes are independent
+// simulations over the same immutable event slice, so they run in
+// parallel; results are merged in size order.
+func RunFig8Buffers(events []trace.Event, blockBytes int64, buffers []int) []Fig8Result {
 	out := make([]Fig8Result, len(buffers))
 	parallelEach(nil, len(buffers), 0, func(_, i int) {
 		out[i] = Fig8Result{
@@ -194,10 +206,9 @@ func Fig9Sweep(events []trace.Event, blockBytes int64, ioNodes int, policy cache
 }
 
 // DefaultFig9Buffers is the buffer-count sweep used by the harness,
-// spanning the paper's 0-25000 x-axis.
-func DefaultFig9Buffers() []int {
-	return []int{125, 250, 500, 1000, 2000, 4000, 8000, 12000, 16000, 20000, 25000}
-}
+// spanning the paper's 0-25000 x-axis (shared with the scenario
+// engine's fig9 default).
+func DefaultFig9Buffers() []int { return scenario.DefaultFig9Buffers() }
 
 // RunCombined reproduces the Section 4.8 combined experiment: single
 // one-block compute-node buffers in front of 10 I/O nodes with 50

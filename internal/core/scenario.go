@@ -1,0 +1,214 @@
+// Lowering declarative scenarios onto the sweep engine: RunScenario
+// turns a validated scenario.Spec into the deterministic StudySpec
+// list (seed x scale x workload-mix x machine-preset), runs it
+// through RunSweep, and then runs the spec's trace-driven cache
+// experiments on every study's event stream. Like the sweep itself,
+// a scenario's formatted output is byte-identical at any worker
+// count; the golden corpus under testdata/scenarios/ pins it.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ScenarioResult is a scenario's complete output.
+type ScenarioResult struct {
+	Spec  *scenario.Spec
+	Sweep *SweepResult
+	// CacheTexts holds the formatted cache-experiment sections, one
+	// per outcome (empty when the spec runs no cache experiments or
+	// the study did not run).
+	CacheTexts []string
+}
+
+// RunScenario validates spec, lowers it onto the sweep engine, and
+// runs any cache experiments on the per-study event streams. The
+// returned result's Format output depends only on the spec, never on
+// worker count or timing. On context cancellation the partial result
+// is returned alongside the context error.
+func RunScenario(ctx context.Context, spec *scenario.Spec) (*ScenarioResult, error) {
+	if spec == nil {
+		return nil, errors.New("core: nil scenario spec")
+	}
+	// Validate also (re)resolves registry names for hand-built specs.
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	plan := spec.CachePlan()
+	specs := ScenarioSpecs(spec)
+	// Cache experiments run inside the sweep workers, on each study's
+	// arena-backed event stream right after the study finishes: only
+	// the formatted text survives, so the scenario never holds more
+	// event slices than it has workers. Each study's text depends on
+	// its events alone, which keeps worker-count invariance.
+	texts := make([]string, len(specs))
+	var post func(i int, r *Result)
+	if plan != nil {
+		post = func(i int, r *Result) {
+			texts[i] = cacheExperimentText(plan, r.Events, r.BlockBytes())
+		}
+	}
+	sweep := RunSweep(ctx, SweepConfig{
+		Specs:     specs,
+		Workers:   spec.Workers,
+		PostStudy: post,
+	})
+	return &ScenarioResult{Spec: spec, Sweep: sweep, CacheTexts: texts}, sweep.Err
+}
+
+// ScenarioSpecs builds the deterministic study list a scenario runs:
+// the cross product seed x scale x workload-mix x machine-preset, in
+// that nesting order. Labels name the mix and machine axes only when
+// the spec declares them, so an axis-free scenario's sweep rows read
+// exactly like a plain CrossSpecs sweep.
+func ScenarioSpecs(spec *scenario.Spec) []StudySpec {
+	specs := make([]StudySpec, 0, spec.Studies())
+	for _, seed := range spec.SeedList() {
+		for _, scale := range spec.ScaleList() {
+			for _, mix := range spec.MixList() {
+				for _, mc := range spec.MachineList() {
+					cfg := Config{Seed: seed, Scale: scale, Workload: mix.Params, Machine: mc.Config}.normalized()
+					label := fmt.Sprintf("seed=%d scale=%g", seed, cfg.Scale)
+					if spec.MultiMix() {
+						label += " wl=" + mix.Name
+					}
+					if spec.MultiMachine() {
+						label += " mc=" + mc.Name
+					}
+					specs = append(specs, StudySpec{Label: label, Config: cfg})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// cacheExperimentText renders every cache experiment the plan selects
+// for one study's event stream.
+func cacheExperimentText(plan *scenario.ResolvedCache, events []trace.Event, blockBytes int64) string {
+	var b strings.Builder
+	if plan.Fig8Buffers != nil {
+		b.WriteString(FormatFig8(RunFig8Buffers(events, blockBytes, plan.Fig8Buffers)))
+	}
+	if plan.Fig9 != nil {
+		if b.Len() > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(formatFig9Grid(events, blockBytes, plan.Fig9))
+	}
+	if plan.Combined != nil {
+		for _, p := range plan.Combined.Policies {
+			if b.Len() > 0 {
+				b.WriteString("\n")
+			}
+			res := cachesim.CombinedPolicy(events, blockBytes,
+				plan.Combined.IONodes, plan.Combined.BuffersPerIONode, p)
+			b.WriteString(FormatCombined(res))
+		}
+	}
+	return b.String()
+}
+
+// FormatFig8 renders the Figure 8 experiment exactly as the cachesim
+// command always has: a per-job hit-rate CDF per cache size.
+func FormatFig8(results []Fig8Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 8: compute-node caching (read-only files, LRU, 4 KB buffers)")
+	fmt.Fprintln(&b, "CDF of per-job hit rates:")
+	for _, fr := range results {
+		var cdf stats.CDF
+		for _, j := range fr.Jobs {
+			cdf.Add(100 * j.Rate())
+		}
+		fmt.Fprintf(&b, "\n  %d buffer(s), %d jobs:\n", fr.Buffers, len(fr.Jobs))
+		fmt.Fprintf(&b, "  %10s  %8s\n", "hit rate", "CDF")
+		for pct := 0; pct <= 100; pct += 10 {
+			fmt.Fprintf(&b, "  %9d%%  %8.4f\n", pct, cdf.At(float64(pct)))
+		}
+	}
+	return b.String()
+}
+
+// formatFig9Grid renders the I/O-node sweep as one table per I/O-node
+// count: rows are buffer counts, columns are policies.
+func formatFig9Grid(events []trace.Event, blockBytes int64, plan *scenario.ResolvedFig9) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 9: I/O-node caching (4 KB buffers)")
+	for _, ioNodes := range plan.IONodes {
+		fmt.Fprintf(&b, "\n  %d I/O node(s):\n", ioNodes)
+		fmt.Fprintf(&b, "  %10s", "buffers")
+		for _, p := range plan.Policies {
+			fmt.Fprintf(&b, "  %10s", p)
+		}
+		fmt.Fprintln(&b)
+		// One Fig9Sweep per policy: each fans its buffer ladder across
+		// cores; rows are then assembled in buffer order.
+		curves := make([][]cachesim.IONodeResult, len(plan.Policies))
+		for pi, p := range plan.Policies {
+			curves[pi] = Fig9Sweep(events, blockBytes, ioNodes, p, plan.Buffers)
+		}
+		for bi, buffers := range plan.Buffers {
+			fmt.Fprintf(&b, "  %10d", buffers)
+			for pi := range plan.Policies {
+				fmt.Fprintf(&b, "  %9.1f%%", 100*curves[pi][bi].Rate())
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// FormatCombined renders the Section 4.8 combined experiment. The
+// configuration in the header comes from the result itself, so it
+// always describes the simulation that actually ran.
+func FormatCombined(res cachesim.CombinedResult) string {
+	var b strings.Builder
+	ioNodes := res.IONodeAlone.IONodes
+	buffersPerIONode := 0
+	if ioNodes > 0 {
+		buffersPerIONode = res.IONodeAlone.TotalBuffers / ioNodes
+	}
+	fmt.Fprintln(&b, "Combined caches (Section 4.8): one 4 KB buffer per compute node")
+	fmt.Fprintf(&b, "in front of %d I/O nodes with %d %s buffers each\n",
+		ioNodes, buffersPerIONode, res.IONodeAlone.Policy)
+	fmt.Fprintf(&b, "  I/O-node hit rate, no compute caches:   %.1f%%\n", 100*res.IONodeAlone.Rate())
+	fmt.Fprintf(&b, "  I/O-node hit rate, with compute caches: %.1f%%\n", 100*res.IONodeFiltered.Rate())
+	fmt.Fprintf(&b, "  reduction: %.1f points (the paper measured ~3)\n",
+		100*(res.IONodeAlone.Rate()-res.IONodeFiltered.Rate()))
+	fmt.Fprintf(&b, "  requests absorbed at compute nodes: %d\n", res.ComputeHits)
+	return b.String()
+}
+
+// Format renders the scenario's complete deterministic report: the
+// header, the sweep table, and one cache-experiment section per
+// study. The text depends only on the spec and the outcomes.
+func (r *ScenarioResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario: %s (spec v%d, %d studies)\n", r.Spec.Name, r.Spec.Version, len(r.Sweep.Outcomes))
+	if r.Spec.Description != "" {
+		fmt.Fprintf(&b, "%s\n", r.Spec.Description)
+	}
+	b.WriteString("\n")
+	b.WriteString(r.Sweep.Format())
+	for i := range r.Sweep.Outcomes {
+		if r.CacheTexts[i] == "" {
+			continue
+		}
+		o := &r.Sweep.Outcomes[i]
+		label := o.Spec.Label
+		if label == "" {
+			label = fmt.Sprintf("spec %d", i)
+		}
+		fmt.Fprintf(&b, "\n=== cache experiments: %s ===\n\n", label)
+		b.WriteString(r.CacheTexts[i])
+	}
+	return b.String()
+}

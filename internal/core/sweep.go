@@ -45,6 +45,15 @@ type SweepConfig struct {
 	// KeepReports retains each study's full Report instead of
 	// recycling its statistics storage into the worker arena.
 	KeepReports bool
+	// PostStudy, when non-nil, runs on the worker goroutine right
+	// after study i completes, before its arena storage is recycled.
+	// It must not retain r or anything reachable from it (r.Events
+	// and r.Report are arena-backed) and must write only to
+	// index-i-owned state; anything derived deterministically from
+	// one study keeps the sweep's worker-count invariance. This is
+	// how the scenario engine runs per-study cache experiments
+	// without holding every study's event stream in memory at once.
+	PostStudy func(i int, r *Result)
 }
 
 // StudyOutcome is one study's results within a sweep.
@@ -106,7 +115,7 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 		if arenas[w] == nil {
 			arenas[w] = NewArena()
 		}
-		res.Outcomes[i] = runSpec(arenas[w], cfg, cfg.Specs[i])
+		res.Outcomes[i] = runSpec(arenas[w], cfg, cfg.Specs[i], i)
 	})
 	res.Elapsed = time.Since(start)
 	res.Err = ctx.Err()
@@ -115,8 +124,11 @@ func RunSweep(ctx context.Context, cfg SweepConfig) *SweepResult {
 
 // runSpec runs one study on the worker's arena, copies out what the
 // sweep retains, and recycles the rest.
-func runSpec(a *Arena, sc SweepConfig, spec StudySpec) StudyOutcome {
+func runSpec(a *Arena, sc SweepConfig, spec StudySpec, i int) StudyOutcome {
 	r := a.RunStudy(spec.Config)
+	if sc.PostStudy != nil {
+		sc.PostStudy(i, r)
+	}
 	out := StudyOutcome{
 		Spec:          spec,
 		Done:          true,

@@ -114,6 +114,33 @@ func TestArenaDifferentSeedsAfterRecycle(t *testing.T) {
 	}
 }
 
+// TestRunSweepPostStudy checks the per-study hook: it fires exactly
+// once per spec with that study's live result, regardless of worker
+// count, and index-owned writes are race-free under -race.
+func TestRunSweepPostStudy(t *testing.T) {
+	specs := sweepSpecs(6)
+	for _, workers := range []int{1, 4} {
+		events := make([]int, len(specs))
+		seeds := make([]uint64, len(specs))
+		RunSweep(context.Background(), SweepConfig{
+			Specs:   specs,
+			Workers: workers,
+			PostStudy: func(i int, r *Result) {
+				events[i]++
+				seeds[i] = r.Header.Seed
+			},
+		})
+		for i := range specs {
+			if events[i] != 1 {
+				t.Fatalf("workers=%d: PostStudy ran %d times for spec %d", workers, events[i], i)
+			}
+			if seeds[i] != specs[i].Config.Seed {
+				t.Fatalf("workers=%d: spec %d saw result for seed %d", workers, i, seeds[i])
+			}
+		}
+	}
+}
+
 // TestRunSweepCancelled checks that a pre-cancelled context runs
 // nothing and marks every outcome undone.
 func TestRunSweepCancelled(t *testing.T) {

@@ -217,6 +217,10 @@ func NewWith(k *sim.Kernel, cfg Config, arena *Arena) *Machine {
 // Kernel returns the simulation kernel.
 func (m *Machine) Kernel() *sim.Kernel { return m.k }
 
+// ComputeNodes returns the machine's compute-node count (the largest
+// job it can run).
+func (m *Machine) ComputeNodes() int { return m.cfg.ComputeNodes }
+
 // FS returns the file system.
 func (m *Machine) FS() *cfs.FileSystem { return m.fs }
 

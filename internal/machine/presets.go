@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cfs"
+	"repro/internal/hypercube"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The machine-preset registry: stable names a scenario spec can use
+// to pick a machine configuration. "nas" is the paper's facility; the
+// others widen the scenario space beyond it.
+//
+// A preset's Seed field is zero; whoever runs a study stamps the
+// study seed onto it (core.RunStudy does this for every machine
+// override), so one preset serves every seed in a sweep.
+
+// MiniConfig returns a non-NAS preset: a 32-node development cube
+// with 4 I/O nodes, the kind of small iPSC/860 installation other
+// CFS sites ran. Same per-node hardware as NAS (same disks, links,
+// clocks, 4 KB blocks and trace buffers) but a quarter of the compute
+// nodes and under half the I/O nodes, so the compute-to-I/O balance
+// -- and with it the cache and queueing behaviour -- differs.
+func MiniConfig(seed uint64) Config {
+	net := hypercube.IPSC860()
+	net.Dim = 5 // 32 nodes
+	fs := cfs.DefaultConfig()
+	fs.IONodes = 4
+	return Config{
+		ComputeNodes:     32,
+		Net:              net,
+		FS:               fs,
+		ServiceHost:      0,
+		TraceBufferBytes: trace.DefaultBufferBytes,
+		MaxClockOffset:   100 * sim.Millisecond,
+		MaxClockDriftPPM: 100,
+		Seed:             seed,
+	}
+}
+
+// presetNames lists the registry in stable order.
+var presetNames = [...]string{"nas", "mini"}
+
+// PresetNames returns the machine-preset registry names, in stable
+// order.
+func PresetNames() []string {
+	return append([]string(nil), presetNames[:]...)
+}
+
+// Preset resolves a registry name (case-insensitive) to its machine
+// configuration, with a zero seed for the caller to stamp.
+func Preset(name string) (Config, error) {
+	switch strings.ToLower(name) {
+	case "nas":
+		return NASConfig(0), nil
+	case "mini":
+		return MiniConfig(0), nil
+	}
+	return Config{}, fmt.Errorf("machine: unknown preset %q (known: %s)",
+		name, strings.Join(presetNames[:], ", "))
+}

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScenarioParse is the decoder's robustness contract: for any
+// byte input -- malformed JSON, unknown archetype/policy/preset
+// names, absurd scales or counts, truncated or duplicated documents
+// -- Parse must return either a validated spec or a descriptive
+// error, and must never panic. The corpus scenarios seed the fuzzer
+// so mutations start from realistic specs.
+func FuzzScenarioParse(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "scenarios", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) < 8 {
+		f.Fatalf("scenario corpus has only %d specs", len(paths))
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Hand-picked hostile seeds: the shapes most likely to slip past
+	// validation into a panic downstream.
+	f.Add([]byte(`{"version":1,"name":"x","scales":[1e308]}`))
+	f.Add([]byte(`{"version":1,"name":"x","workloads":[{"base":"empty","jobs":{"cfd-sim":1}}]}`))
+	f.Add([]byte(`{"version":1,"name":"x","cache":{"fig9":{"ioNodes":[1024],"buffers":[1]}}}`))
+	f.Add([]byte(`{"version":-1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{}{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data) // must not panic
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		// A successfully parsed spec must be internally coherent
+		// enough to lower: non-empty axes within global bounds.
+		if spec.Studies() < 1 || spec.Studies() > 1024 {
+			t.Fatalf("validated spec lowers to %d studies", spec.Studies())
+		}
+		if len(spec.MachineList()) == 0 || len(spec.MixList()) == 0 {
+			t.Fatal("validated spec has an empty axis")
+		}
+		for _, sc := range spec.ScaleList() {
+			if !(sc >= MinScale && sc <= 1) {
+				t.Fatalf("validated spec carries scale %v", sc)
+			}
+		}
+		// Re-validating must be idempotent.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("revalidation failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,542 @@
+// Package scenario is the declarative experiment layer: a versioned
+// JSON spec that composes machine presets, workload mixes (by
+// archetype registry name), cache experiments (by policy registry
+// name), seeds, scales, and sweep axes into one named, runnable,
+// reproducible experiment. The CHARISMA paper is a fixed study of one
+// machine and one job mix; the scenario engine turns every axis the
+// paper held constant into data, so a new experiment is a JSON file
+// in testdata/scenarios/ instead of a hand-written harness in Go.
+//
+// A spec is parsed and validated here, then lowered onto the sweep
+// engine by core.RunScenario. Validation is strict and total: any
+// malformed, unknown, or absurd input yields a descriptive error and
+// never a panic (FuzzScenarioParse pins this), because scenario files
+// are the system's user-facing input surface.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// Version is the newest spec version this package understands.
+const Version = 1
+
+// MinScale is the smallest scale a spec may declare. It mirrors
+// core.MinScale (this package cannot import core): anything smaller
+// would be silently clamped there, collapsing distinct declared
+// scale points into duplicate studies, so validation rejects it
+// instead. A core-side test pins the two constants equal.
+const MinScale = 0.01
+
+// Hard limits on spec shape: generous for real experiments,
+// tight enough that a hostile or fuzzed spec cannot ask for
+// unbounded work during validation or lowering.
+const (
+	maxSeeds       = 256
+	maxScales      = 32
+	maxMixes       = 16
+	maxMachines    = 8
+	maxStudies     = 1024 // seeds x scales x mixes x machines
+	maxWorkers     = 256
+	maxJobCount    = 1_000_000 // per archetype, full-scale
+	maxPoolFiles   = 100_000   // shared input pool size, full-scale
+	maxBufferList  = 32
+	maxBuffers     = 10_000_000 // per cache-simulation point
+	maxIONodes     = 1024
+	maxNameLen     = 64
+	maxDescription = 2048
+	maxHorizonHrs  = 10_000
+)
+
+// Spec is one declarative scenario, as decoded from JSON. Call Parse
+// or Load to obtain a validated Spec; a hand-built Spec must pass
+// Validate before use.
+type Spec struct {
+	// Version selects the spec schema; must equal Version (1).
+	Version int `json:"version"`
+	// Name identifies the scenario ([a-zA-Z0-9._-], required).
+	Name string `json:"name"`
+	// Description is free-form documentation, echoed in reports.
+	Description string `json:"description,omitempty"`
+
+	// Seeds and Scales are sweep axes; empty means {42} and {0.01}.
+	Seeds  []uint64  `json:"seeds,omitempty"`
+	Scales []float64 `json:"scales,omitempty"`
+
+	// Workers is the sweep worker-goroutine count (0 = GOMAXPROCS).
+	// It never affects output, only wall time.
+	Workers int `json:"workers,omitempty"`
+
+	// Machines names machine presets (machine.PresetNames); empty
+	// means the NAS default and contributes no label component.
+	Machines []string `json:"machines,omitempty"`
+
+	// Workloads is the mix axis; empty means the calibrated default
+	// mix and contributes no label component.
+	Workloads []Mix `json:"workloads,omitempty"`
+
+	// Cache selects trace-driven cache experiments to run on every
+	// study's event stream.
+	Cache *CacheSpec `json:"cache,omitempty"`
+
+	// Resolved forms, filled by Validate.
+	machines []ResolvedMachine
+	mixes    []ResolvedMix
+	cache    *ResolvedCache
+}
+
+// Mix describes one workload mixture by archetype registry name.
+type Mix struct {
+	// Name labels the mix in reports; default "mix<index>".
+	Name string `json:"name,omitempty"`
+	// Base is the starting point: "calibrated" (default) is the
+	// paper's full job mix, "empty" zeroes every archetype count
+	// (keeping the shared input pools).
+	Base string `json:"base,omitempty"`
+	// Jobs overrides full-scale job counts per archetype name.
+	Jobs map[string]int `json:"jobs,omitempty"`
+	// SharedMeshFiles / SharedFieldFiles resize the preloaded shared
+	// input pools (0 keeps the base size).
+	SharedMeshFiles  int `json:"sharedMeshFiles,omitempty"`
+	SharedFieldFiles int `json:"sharedFieldFiles,omitempty"`
+	// HorizonHours overrides the full-scale study duration (0 keeps
+	// the base's 156 hours).
+	HorizonHours float64 `json:"horizonHours,omitempty"`
+}
+
+// CacheSpec selects the trace-driven cache experiments.
+type CacheSpec struct {
+	Fig8     *Fig8Spec     `json:"fig8,omitempty"`
+	Fig9     *Fig9Spec     `json:"fig9,omitempty"`
+	Combined *CombinedSpec `json:"combined,omitempty"`
+}
+
+// Fig8Spec configures the compute-node cache experiment.
+type Fig8Spec struct {
+	// Buffers lists compute-node cache sizes; empty means the paper's
+	// {1, 10, 50}.
+	Buffers []int `json:"buffers,omitempty"`
+}
+
+// Fig9Spec configures the I/O-node cache sweep.
+type Fig9Spec struct {
+	// Policies names replacement policies (cachesim.PolicyNames);
+	// empty means the paper's {LRU, FIFO}.
+	Policies []string `json:"policies,omitempty"`
+	// IONodes lists I/O-node counts; empty means {10}.
+	IONodes []int `json:"ioNodes,omitempty"`
+	// Buffers lists total buffer counts; empty means the paper's
+	// 0-25000 x-axis ladder.
+	Buffers []int `json:"buffers,omitempty"`
+}
+
+// CombinedSpec configures the Section 4.8 combined experiment.
+type CombinedSpec struct {
+	// IONodes and BuffersPerIONode size the I/O-node layer; zero
+	// means the paper's 10 nodes x 50 buffers.
+	IONodes          int `json:"ioNodes,omitempty"`
+	BuffersPerIONode int `json:"buffersPerIONode,omitempty"`
+	// Policies names I/O-node replacement policies; empty means {LRU}.
+	Policies []string `json:"policies,omitempty"`
+}
+
+// ResolvedMachine is one validated machine axis entry.
+type ResolvedMachine struct {
+	Name string
+	// Config is nil for the NAS default (core then follows exactly
+	// the same path as a plain study, including the large-scale disk
+	// capacity adjustment).
+	Config *machine.Config
+}
+
+// ResolvedMix is one validated workload axis entry.
+type ResolvedMix struct {
+	Name string
+	// Params is nil for the calibrated default mix.
+	Params *workload.Params
+}
+
+// ResolvedFig9 is the validated I/O-node sweep grid.
+type ResolvedFig9 struct {
+	Policies []cachesim.Policy
+	IONodes  []int
+	Buffers  []int
+}
+
+// ResolvedCombined is the validated combined experiment.
+type ResolvedCombined struct {
+	Policies         []cachesim.Policy
+	IONodes          int
+	BuffersPerIONode int
+}
+
+// ResolvedCache is the validated cache experiment plan.
+type ResolvedCache struct {
+	Fig8Buffers []int // nil when fig8 is off
+	Fig9        *ResolvedFig9
+	Combined    *ResolvedCombined
+}
+
+// DefaultFig9Buffers is the paper's Figure 9 x-axis ladder, the
+// default when a fig9 experiment lists no buffer counts.
+func DefaultFig9Buffers() []int {
+	return []int{125, 250, 500, 1000, 2000, 4000, 8000, 12000, 16000, 20000, 25000}
+}
+
+// Parse decodes and validates a scenario spec. Unknown fields,
+// unknown registry names, and out-of-range values are errors; Parse
+// never panics on any input.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: decoding spec: %w", err)
+	}
+	// A spec is one JSON object, nothing after it.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a scenario spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// validName reports whether s is a plausible identifier.
+func validName(s string) bool {
+	if s == "" || len(s) > maxNameLen {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the spec against the schema and resolves every
+// registry name; after a nil return the resolved accessors are
+// populated. All errors name the offending field and value.
+func (s *Spec) Validate() error {
+	if s.Version != Version {
+		return fmt.Errorf("scenario: unsupported spec version %d (this build understands version %d)", s.Version, Version)
+	}
+	if !validName(s.Name) {
+		return fmt.Errorf("scenario: invalid name %q (need 1-%d chars of [a-zA-Z0-9._-])", s.Name, maxNameLen)
+	}
+	if len(s.Description) > maxDescription {
+		return fmt.Errorf("scenario %s: description too long (%d bytes, max %d)", s.Name, len(s.Description), maxDescription)
+	}
+	if len(s.Seeds) > maxSeeds {
+		return fmt.Errorf("scenario %s: %d seeds (max %d)", s.Name, len(s.Seeds), maxSeeds)
+	}
+	if len(s.Scales) > maxScales {
+		return fmt.Errorf("scenario %s: %d scales (max %d)", s.Name, len(s.Scales), maxScales)
+	}
+	for _, sc := range s.Scales {
+		if !(sc >= MinScale && sc <= 1) { // the negated form also rejects NaN
+			return fmt.Errorf("scenario %s: scale %v out of range [%g, 1]", s.Name, sc, MinScale)
+		}
+	}
+	if s.Workers < 0 || s.Workers > maxWorkers {
+		return fmt.Errorf("scenario %s: workers %d out of range [0, %d]", s.Name, s.Workers, maxWorkers)
+	}
+
+	// Machine axis.
+	if len(s.Machines) > maxMachines {
+		return fmt.Errorf("scenario %s: %d machines (max %d)", s.Name, len(s.Machines), maxMachines)
+	}
+	s.machines = nil
+	for _, name := range s.Machines {
+		if strings.EqualFold(name, "nas") {
+			s.machines = append(s.machines, ResolvedMachine{Name: "nas"})
+			continue
+		}
+		cfg, err := machine.Preset(name)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		c := cfg
+		s.machines = append(s.machines, ResolvedMachine{Name: strings.ToLower(name), Config: &c})
+	}
+	if len(s.machines) == 0 {
+		s.machines = []ResolvedMachine{{Name: "nas"}}
+	}
+
+	// Workload axis.
+	if len(s.Workloads) > maxMixes {
+		return fmt.Errorf("scenario %s: %d workload mixes (max %d)", s.Name, len(s.Workloads), maxMixes)
+	}
+	s.mixes = nil
+	for i := range s.Workloads {
+		rm, err := s.resolveMix(i)
+		if err != nil {
+			return err
+		}
+		s.mixes = append(s.mixes, rm)
+	}
+	if len(s.mixes) == 0 {
+		s.mixes = []ResolvedMix{{Name: "calibrated"}}
+	}
+	seen := make(map[string]bool, len(s.mixes))
+	for _, m := range s.mixes {
+		if seen[m.Name] {
+			return fmt.Errorf("scenario %s: duplicate workload mix name %q", s.Name, m.Name)
+		}
+		seen[m.Name] = true
+	}
+
+	// Total sweep size.
+	seeds, scales := len(s.Seeds), len(s.Scales)
+	if seeds == 0 {
+		seeds = 1
+	}
+	if scales == 0 {
+		scales = 1
+	}
+	if n := seeds * scales * len(s.mixes) * len(s.machines); n > maxStudies {
+		return fmt.Errorf("scenario %s: %d studies (seeds x scales x workloads x machines, max %d)", s.Name, n, maxStudies)
+	}
+
+	// Cache experiments.
+	s.cache = nil
+	if s.Cache != nil {
+		rc, err := s.resolveCache()
+		if err != nil {
+			return err
+		}
+		s.cache = rc
+	}
+	return nil
+}
+
+// resolveMix validates mix i and builds its workload parameters.
+func (s *Spec) resolveMix(i int) (ResolvedMix, error) {
+	m := &s.Workloads[i]
+	name := m.Name
+	if name == "" {
+		name = fmt.Sprintf("mix%d", i)
+	}
+	if !validName(name) {
+		return ResolvedMix{}, fmt.Errorf("scenario %s: invalid mix name %q", s.Name, m.Name)
+	}
+	var p workload.Params
+	switch strings.ToLower(m.Base) {
+	case "", "calibrated":
+		p = workload.Default(0) // seed stamped per study by the core
+	case "empty":
+		p = workload.Empty(0)
+	default:
+		return ResolvedMix{}, fmt.Errorf("scenario %s, mix %s: unknown base %q (want \"calibrated\" or \"empty\")", s.Name, name, m.Base)
+	}
+	for arch, n := range m.Jobs {
+		if n < 0 || n > maxJobCount {
+			return ResolvedMix{}, fmt.Errorf("scenario %s, mix %s: job count %d for %q out of range [0, %d]", s.Name, name, n, arch, maxJobCount)
+		}
+		if err := workload.SetJobs(&p, arch, n); err != nil {
+			return ResolvedMix{}, fmt.Errorf("scenario %s, mix %s: %w", s.Name, name, err)
+		}
+	}
+	if m.SharedMeshFiles < 0 || m.SharedMeshFiles > maxPoolFiles ||
+		m.SharedFieldFiles < 0 || m.SharedFieldFiles > maxPoolFiles {
+		return ResolvedMix{}, fmt.Errorf("scenario %s, mix %s: shared pool size out of range [0, %d]", s.Name, name, maxPoolFiles)
+	}
+	if m.SharedMeshFiles > 0 {
+		p.SharedMeshFiles = m.SharedMeshFiles
+	}
+	if m.SharedFieldFiles > 0 {
+		p.SharedFieldFiles = m.SharedFieldFiles
+	}
+	if m.HorizonHours < 0 || m.HorizonHours > maxHorizonHrs {
+		return ResolvedMix{}, fmt.Errorf("scenario %s, mix %s: horizonHours %v out of range (0, %d]", s.Name, name, m.HorizonHours, maxHorizonHrs)
+	}
+	if m.HorizonHours > 0 {
+		p.HorizonHours = m.HorizonHours
+	}
+	if workload.TotalJobs(&p) == 0 {
+		return ResolvedMix{}, fmt.Errorf("scenario %s, mix %s: no jobs in the mix", s.Name, name)
+	}
+	// Archetypes that draw from the shared input pools need them
+	// populated, or the generator would panic mid-study.
+	need := func(arch string) int {
+		n, err := workload.Jobs(&p, arch)
+		if err != nil {
+			panic(err) // registry names, cannot fail
+		}
+		return n
+	}
+	if need("cfd-sim") > 0 && (p.SharedMeshFiles < 1 || p.SharedFieldFiles < 4) {
+		return ResolvedMix{}, fmt.Errorf("scenario %s, mix %s: cfd-sim jobs need sharedMeshFiles >= 1 and sharedFieldFiles >= 4 (got %d, %d)", s.Name, name, p.SharedMeshFiles, p.SharedFieldFiles)
+	}
+	if (need("single-reader") > 0 || need("row-padded") > 0 || need("legacy-shared") > 0) && p.SharedFieldFiles < 1 {
+		return ResolvedMix{}, fmt.Errorf("scenario %s, mix %s: single-reader/row-padded/legacy-shared jobs need sharedFieldFiles >= 1", s.Name, name)
+	}
+	return ResolvedMix{Name: name, Params: &p}, nil
+}
+
+// resolveCache validates the cache experiment plan.
+func (s *Spec) resolveCache() (*ResolvedCache, error) {
+	c := s.Cache
+	rc := &ResolvedCache{}
+	if c.Fig8 == nil && c.Fig9 == nil && c.Combined == nil {
+		return nil, fmt.Errorf("scenario %s: cache section selects no experiment (want fig8, fig9, and/or combined)", s.Name)
+	}
+	if c.Fig8 != nil {
+		buffers := c.Fig8.Buffers
+		if len(buffers) == 0 {
+			buffers = []int{1, 10, 50}
+		}
+		if err := checkBuffers(s.Name, "fig8.buffers", buffers); err != nil {
+			return nil, err
+		}
+		rc.Fig8Buffers = buffers
+	}
+	if c.Fig9 != nil {
+		policies, err := resolvePolicies(s.Name, "fig9", c.Fig9.Policies, []cachesim.Policy{cachesim.LRU, cachesim.FIFO})
+		if err != nil {
+			return nil, err
+		}
+		ioNodes := c.Fig9.IONodes
+		if len(ioNodes) == 0 {
+			ioNodes = []int{10}
+		}
+		if len(ioNodes) > maxBufferList {
+			return nil, fmt.Errorf("scenario %s: fig9.ioNodes lists %d entries (max %d)", s.Name, len(ioNodes), maxBufferList)
+		}
+		for _, n := range ioNodes {
+			if n < 1 || n > maxIONodes {
+				return nil, fmt.Errorf("scenario %s: fig9.ioNodes entry %d out of range [1, %d]", s.Name, n, maxIONodes)
+			}
+		}
+		buffers := c.Fig9.Buffers
+		if len(buffers) == 0 {
+			buffers = DefaultFig9Buffers()
+		}
+		if err := checkBuffers(s.Name, "fig9.buffers", buffers); err != nil {
+			return nil, err
+		}
+		rc.Fig9 = &ResolvedFig9{Policies: policies, IONodes: ioNodes, Buffers: buffers}
+	}
+	if c.Combined != nil {
+		policies, err := resolvePolicies(s.Name, "combined", c.Combined.Policies, []cachesim.Policy{cachesim.LRU})
+		if err != nil {
+			return nil, err
+		}
+		ioNodes := c.Combined.IONodes
+		if ioNodes == 0 {
+			ioNodes = 10
+		}
+		per := c.Combined.BuffersPerIONode
+		if per == 0 {
+			per = 50
+		}
+		if ioNodes < 1 || ioNodes > maxIONodes {
+			return nil, fmt.Errorf("scenario %s: combined.ioNodes %d out of range [1, %d]", s.Name, ioNodes, maxIONodes)
+		}
+		if per < 1 || per > maxBuffers/ioNodes {
+			return nil, fmt.Errorf("scenario %s: combined.buffersPerIONode %d out of range [1, %d]", s.Name, per, maxBuffers/ioNodes)
+		}
+		rc.Combined = &ResolvedCombined{Policies: policies, IONodes: ioNodes, BuffersPerIONode: per}
+	}
+	return rc, nil
+}
+
+// checkBuffers bounds a buffer-count list.
+func checkBuffers(scenarioName, field string, buffers []int) error {
+	if len(buffers) > maxBufferList {
+		return fmt.Errorf("scenario %s: %s lists %d entries (max %d)", scenarioName, field, len(buffers), maxBufferList)
+	}
+	for _, b := range buffers {
+		if b < 1 || b > maxBuffers {
+			return fmt.Errorf("scenario %s: %s entry %d out of range [1, %d]", scenarioName, field, b, maxBuffers)
+		}
+	}
+	return nil
+}
+
+// resolvePolicies maps policy names through the cachesim registry.
+func resolvePolicies(scenarioName, field string, names []string, def []cachesim.Policy) ([]cachesim.Policy, error) {
+	if len(names) == 0 {
+		return def, nil
+	}
+	if len(names) > len(cachesim.PolicyNames()) {
+		return nil, fmt.Errorf("scenario %s: %s.policies lists %d entries (max %d)", scenarioName, field, len(names), len(cachesim.PolicyNames()))
+	}
+	out := make([]cachesim.Policy, 0, len(names))
+	for _, n := range names {
+		p, err := cachesim.ParsePolicy(n)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %s: %w", scenarioName, field, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SeedList returns the seed axis (default {42}).
+func (s *Spec) SeedList() []uint64 {
+	if len(s.Seeds) == 0 {
+		return []uint64{42}
+	}
+	return s.Seeds
+}
+
+// ScaleList returns the scale axis (default {0.01}).
+func (s *Spec) ScaleList() []float64 {
+	if len(s.Scales) == 0 {
+		return []float64{0.01}
+	}
+	return s.Scales
+}
+
+// MachineList returns the validated machine axis. Validate must have
+// succeeded.
+func (s *Spec) MachineList() []ResolvedMachine { return s.machines }
+
+// MixList returns the validated workload axis. Validate must have
+// succeeded.
+func (s *Spec) MixList() []ResolvedMix { return s.mixes }
+
+// CachePlan returns the validated cache experiment plan, or nil when
+// the scenario runs no cache experiments. Validate must have
+// succeeded.
+func (s *Spec) CachePlan() *ResolvedCache { return s.cache }
+
+// Studies returns the number of studies the scenario will run.
+func (s *Spec) Studies() int {
+	return len(s.SeedList()) * len(s.ScaleList()) * len(s.mixes) * len(s.machines)
+}
+
+// MultiMix reports whether the spec declares an explicit workload
+// axis (and so labels carry a wl= component).
+func (s *Spec) MultiMix() bool { return len(s.Workloads) > 0 }
+
+// MultiMachine reports whether the spec declares an explicit machine
+// axis (and so labels carry a mc= component).
+func (s *Spec) MultiMachine() bool { return len(s.Machines) > 0 }

@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cachesim"
+)
+
+// minimal returns a valid minimal spec body.
+func minimal() string {
+	return `{"version": 1, "name": "t"}`
+}
+
+func TestParseMinimalDefaults(t *testing.T) {
+	s, err := Parse([]byte(minimal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SeedList(); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("default seeds %v", got)
+	}
+	if got := s.ScaleList(); len(got) != 1 || got[0] != 0.01 {
+		t.Fatalf("default scales %v", got)
+	}
+	if ms := s.MachineList(); len(ms) != 1 || ms[0].Name != "nas" || ms[0].Config != nil {
+		t.Fatalf("default machines %+v", ms)
+	}
+	if mixes := s.MixList(); len(mixes) != 1 || mixes[0].Name != "calibrated" || mixes[0].Params != nil {
+		t.Fatalf("default mixes %+v", mixes)
+	}
+	if s.CachePlan() != nil {
+		t.Fatal("cache plan from empty spec")
+	}
+	if s.Studies() != 1 || s.MultiMix() || s.MultiMachine() {
+		t.Fatalf("defaults wrong: studies=%d", s.Studies())
+	}
+}
+
+func TestParseFullSpec(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"version": 1, "name": "full", "description": "d",
+		"seeds": [1, 2, 3], "scales": [0.01, 0.5], "workers": 4,
+		"machines": ["NAS", "Mini"],
+		"workloads": [
+			{"name": "w", "base": "empty",
+			 "jobs": {"checkpoint": 10, "CFD-Sim": 5},
+			 "sharedMeshFiles": 7, "sharedFieldFiles": 9, "horizonHours": 24}
+		],
+		"cache": {
+			"fig8": {"buffers": [1, 2]},
+			"fig9": {"policies": ["slru", "clock"], "ioNodes": [4, 10], "buffers": [100, 200]},
+			"combined": {"ioNodes": 5, "buffersPerIONode": 20, "policies": ["fifo"]}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Studies() != 3*2*1*2 {
+		t.Fatalf("studies = %d", s.Studies())
+	}
+	ms := s.MachineList()
+	if ms[0].Name != "nas" || ms[0].Config != nil {
+		t.Fatalf("nas entry %+v", ms[0])
+	}
+	if ms[1].Name != "mini" || ms[1].Config == nil || ms[1].Config.ComputeNodes != 32 {
+		t.Fatalf("mini entry %+v", ms[1])
+	}
+	mix := s.MixList()[0]
+	if mix.Params == nil || mix.Params.CheckpointJobs != 10 || mix.Params.CFDSimJobs != 5 {
+		t.Fatalf("mix params %+v", mix.Params)
+	}
+	if mix.Params.SharedMeshFiles != 7 || mix.Params.SharedFieldFiles != 9 || mix.Params.HorizonHours != 24 {
+		t.Fatalf("mix pool/horizon overrides lost: %+v", mix.Params)
+	}
+	if mix.Params.SystemUtilJobs != 0 {
+		t.Fatal("empty base kept calibrated job counts")
+	}
+	plan := s.CachePlan()
+	if plan == nil || len(plan.Fig8Buffers) != 2 {
+		t.Fatalf("fig8 plan %+v", plan)
+	}
+	f9 := plan.Fig9
+	if f9 == nil || len(f9.Policies) != 2 || f9.Policies[0] != cachesim.SLRU || f9.Policies[1] != cachesim.Clock {
+		t.Fatalf("fig9 plan %+v", f9)
+	}
+	cb := plan.Combined
+	if cb == nil || cb.IONodes != 5 || cb.BuffersPerIONode != 20 || cb.Policies[0] != cachesim.FIFO {
+		t.Fatalf("combined plan %+v", cb)
+	}
+}
+
+func TestParseCacheDefaults(t *testing.T) {
+	s, err := Parse([]byte(`{"version": 1, "name": "c",
+		"cache": {"fig8": {}, "fig9": {}, "combined": {}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := s.CachePlan()
+	if want := []int{1, 10, 50}; len(plan.Fig8Buffers) != 3 || plan.Fig8Buffers[0] != want[0] {
+		t.Fatalf("fig8 defaults %v", plan.Fig8Buffers)
+	}
+	if plan.Fig9.Policies[0] != cachesim.LRU || plan.Fig9.Policies[1] != cachesim.FIFO {
+		t.Fatalf("fig9 policy defaults %v", plan.Fig9.Policies)
+	}
+	if plan.Fig9.IONodes[0] != 10 || len(plan.Fig9.Buffers) != len(DefaultFig9Buffers()) {
+		t.Fatalf("fig9 grid defaults %+v", plan.Fig9)
+	}
+	if plan.Combined.IONodes != 10 || plan.Combined.BuffersPerIONode != 50 ||
+		plan.Combined.Policies[0] != cachesim.LRU {
+		t.Fatalf("combined defaults %+v", plan.Combined)
+	}
+}
+
+// TestParseErrors table-drives the validation surface: every entry
+// must fail with a message mentioning the offending part.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"empty", ``, "decoding"},
+		{"not-json", `{{{`, "decoding"},
+		{"trailing", `{"version":1,"name":"t"} {"x":1}`, "trailing data"},
+		{"unknown-field", `{"version":1,"name":"t","colour":"red"}`, "colour"},
+		{"no-version", `{"name":"t"}`, "version"},
+		{"future-version", `{"version":2,"name":"t"}`, "version 2"},
+		{"no-name", `{"version":1}`, "name"},
+		{"bad-name", `{"version":1,"name":"bad name!"}`, "name"},
+		{"zero-scale", `{"version":1,"name":"t","scales":[0]}`, "scale"},
+		{"sub-minscale", `{"version":1,"name":"t","scales":[0.001]}`, "scale"},
+		{"huge-pool", `{"version":1,"name":"t","workloads":[{"sharedMeshFiles":2000000000}]}`, "pool size"},
+		{"huge-scale", `{"version":1,"name":"t","scales":[1000]}`, "scale"},
+		{"negative-scale", `{"version":1,"name":"t","scales":[-0.5]}`, "scale"},
+		{"negative-workers", `{"version":1,"name":"t","workers":-1}`, "workers"},
+		{"huge-workers", `{"version":1,"name":"t","workers":100000}`, "workers"},
+		{"unknown-machine", `{"version":1,"name":"t","machines":["cm5"]}`, "preset"},
+		{"unknown-base", `{"version":1,"name":"t","workloads":[{"base":"banana"}]}`, "base"},
+		{"unknown-archetype", `{"version":1,"name":"t","workloads":[{"jobs":{"matmul":1}}]}`, "archetype"},
+		{"negative-jobs", `{"version":1,"name":"t","workloads":[{"jobs":{"cfd-sim":-1}}]}`, "out of range"},
+		{"absurd-jobs", `{"version":1,"name":"t","workloads":[{"jobs":{"cfd-sim":99999999}}]}`, "out of range"},
+		{"empty-mix", `{"version":1,"name":"t","workloads":[{"base":"empty"}]}`, "no jobs"},
+		{"dup-mix", `{"version":1,"name":"t","workloads":[{"name":"a"},{"name":"a"}]}`, "duplicate"},
+		{"bad-mix-name", `{"version":1,"name":"t","workloads":[{"name":"a b"}]}`, "mix name"},
+		{"cfd-needs-pools", `{"version":1,"name":"t","workloads":[{"base":"empty","jobs":{"cfd-sim":5},"sharedFieldFiles":2}]}`, "cfd-sim"},
+		{"negative-horizon", `{"version":1,"name":"t","workloads":[{"horizonHours":-2}]}`, "horizonHours"},
+		{"empty-cache", `{"version":1,"name":"t","cache":{}}`, "no experiment"},
+		{"bad-policy", `{"version":1,"name":"t","cache":{"fig9":{"policies":["mru"]}}}`, "policy"},
+		{"zero-buffer", `{"version":1,"name":"t","cache":{"fig8":{"buffers":[0]}}}`, "out of range"},
+		{"absurd-buffer", `{"version":1,"name":"t","cache":{"fig9":{"buffers":[999999999]}}}`, "out of range"},
+		{"zero-ionodes", `{"version":1,"name":"t","cache":{"fig9":{"ioNodes":[0]}}}`, "ioNodes"},
+		{"combined-bad", `{"version":1,"name":"t","cache":{"combined":{"ioNodes":-4}}}`, "ioNodes"},
+		{"seed-not-number", `{"version":1,"name":"t","seeds":["a"]}`, "decoding"},
+		{"negative-seed", `{"version":1,"name":"t","seeds":[-1]}`, "decoding"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseTooManyStudies: each axis within bounds, product over.
+func TestParseTooManyStudies(t *testing.T) {
+	var seeds []string
+	for i := 0; i < 200; i++ {
+		seeds = append(seeds, "1")
+	}
+	body := `{"version":1,"name":"t","seeds":[` + strings.Join(seeds, ",") + `],
+		"scales":[0.01,0.02,0.03,0.04,0.05,0.06],
+		"workloads":[{"name":"a"},{"name":"b"}]}`
+	_, err := Parse([]byte(body))
+	if err == nil || !strings.Contains(err.Error(), "studies") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestValidateHandBuiltSpec: Validate works without Parse (the path
+// core.RunScenario takes for specs built in Go).
+func TestValidateHandBuiltSpec(t *testing.T) {
+	s := &Spec{Version: 1, Name: "hand", Machines: []string{"mini"}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MachineList()[0].Config == nil {
+		t.Fatal("resolution skipped")
+	}
+	s2 := &Spec{Version: 1, Name: "hand", Machines: []string{"unknown"}}
+	if err := s2.Validate(); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("does/not/exist.json"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	// A real corpus file loads and carries the path in errors.
+	if _, err := Load("../../testdata/scenarios/fig8.json"); err != nil {
+		t.Fatal(err)
+	}
+}

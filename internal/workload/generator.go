@@ -218,6 +218,18 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 
 	var plans []jobPlan
 	jobSeq := 0
+	// Node counts are drawn from the Figure 2 distribution and then
+	// clamped to the machine being simulated, so the calibrated mix
+	// runs unchanged on smaller presets (the clamp never fires on the
+	// 128-node NAS machine and consumes no extra randomness).
+	maxNodes := m.ComputeNodes()
+	drawNodes := func(rng *stats.RNG) int {
+		n := g.multiNodeCount(rng)
+		if n > maxNodes {
+			n = maxNodes
+		}
+		return n
+	}
 	add := func(spec machine.JobSpec, rng *stats.RNG) {
 		plans = append(plans, jobPlan{at: g.arrival(rng, horizon), spec: spec})
 	}
@@ -252,7 +264,7 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 	for i := 0; i < scaled(p.CFDSimJobs, p.Scale); i++ {
 		jobSeq++
 		rng := g.rng.Split(uint64(jobSeq))
-		nodes := g.multiNodeCount(rng)
+		nodes := drawNodes(rng)
 		// Shared snapshots: a few from the pool (revisited by later
 		// jobs) plus several unique to this job.
 		snaps := make([]string, 0, 26)
@@ -285,7 +297,7 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 	for i := 0; i < scaled(p.ParamStudyJobs, p.Scale); i++ {
 		jobSeq++
 		rng := g.rng.Split(uint64(jobSeq))
-		nodes := g.multiNodeCount(rng)
+		nodes := drawNodes(rng)
 		prefix := fmt.Sprintf("/job%d/input", jobSeq)
 		preloadRestarts(prefix, nodes, rng, 400000)
 		add(ParamStudy(rng, jobSeq, nodes, prefix), rng)
@@ -293,12 +305,12 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 	for i := 0; i < scaled(p.CheckpointJobs, p.Scale); i++ {
 		jobSeq++
 		rng := g.rng.Split(uint64(jobSeq))
-		add(Checkpoint(rng, jobSeq, g.multiNodeCount(rng)), rng)
+		add(Checkpoint(rng, jobSeq, drawNodes(rng)), rng)
 	}
 	for i := 0; i < scaled(p.RowPaddedJobs, p.Scale); i++ {
 		jobSeq++
 		rng := g.rng.Split(uint64(jobSeq))
-		add(RowPaddedReader(rng, jobSeq, g.multiNodeCount(rng), pickField(rng)), rng)
+		add(RowPaddedReader(rng, jobSeq, drawNodes(rng), pickField(rng)), rng)
 	}
 	for i := 0; i < scaled(p.ScratchJobs, p.Scale); i++ {
 		jobSeq++
@@ -309,7 +321,7 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 	for i := 0; i < scaled(p.BulkDumpJobs, p.Scale); i++ {
 		jobSeq++
 		rng := g.rng.Split(uint64(jobSeq))
-		add(BulkDump(rng, jobSeq, g.multiNodeCount(rng)), rng)
+		add(BulkDump(rng, jobSeq, drawNodes(rng)), rng)
 	}
 	for i := 0; i < scaled(p.LegacySharedJobs, p.Scale); i++ {
 		jobSeq++
@@ -320,7 +332,7 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 	for i := 0; i < scaled(p.UntracedParallJobs, p.Scale); i++ {
 		jobSeq++
 		rng := g.rng.Split(uint64(jobSeq))
-		nodes := g.multiNodeCount(rng)
+		nodes := drawNodes(rng)
 		add(UntracedParallel(rng, jobSeq, nodes, untracedSnaps, ""), rng)
 	}
 

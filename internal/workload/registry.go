@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The archetype registry: a stable name for every job archetype in
+// archetypes.go, bound to the Params field that controls how many of
+// that archetype a study submits. Scenario specs build workload mixes
+// by these names instead of reaching into Params, so adding an
+// archetype means adding one registry entry and nothing else.
+
+// Archetype is one registry entry.
+type Archetype struct {
+	// Name is the stable registry identifier ("cfd-sim", ...).
+	Name string
+	// Doc is a one-line description for docs and error messages.
+	Doc string
+	// Count reads the archetype's full-scale job count from p.
+	Count func(p *Params) int
+	// SetCount sets the archetype's full-scale job count on p.
+	SetCount func(p *Params, n int)
+}
+
+// registry holds every archetype in declaration order (the order of
+// Params' fields, which is also submission-plan order).
+var registry = []Archetype{
+	{
+		Name:     "status-check",
+		Doc:      "periodic single-node machine-status job; no CFS I/O, untraced",
+		Count:    func(p *Params) int { return p.StatusCheckJobs },
+		SetCount: func(p *Params, n int) { p.StatusCheckJobs = n },
+	},
+	{
+		Name:     "system-util",
+		Doc:      "untraced single-node system program (ls, cp, ftp)",
+		Count:    func(p *Params) int { return p.SystemUtilJobs },
+		SetCount: func(p *Params, n int) { p.SystemUtilJobs = n },
+	},
+	{
+		Name:     "single-reader",
+		Doc:      "traced single-node postprocessor: sequential read, small report",
+		Count:    func(p *Params) int { return p.SingleReaderJobs },
+		SetCount: func(p *Params, n int) { p.SingleReaderJobs = n },
+	},
+	{
+		Name:     "cfd-sim",
+		Doc:      "dominant archetype: time-stepping parallel CFD solver",
+		Count:    func(p *Params) int { return p.CFDSimJobs },
+		SetCount: func(p *Params, n int) { p.CFDSimJobs = n },
+	},
+	{
+		Name:     "restart-run",
+		Doc:      "two-node continuation run: private restart in, private output out",
+		Count:    func(p *Params) int { return p.RestartRunJobs },
+		SetCount: func(p *Params, n int) { p.RestartRunJobs = n },
+	},
+	{
+		Name:     "param-study",
+		Doc:      "one small solver per node: big private reads, one-shot result",
+		Count:    func(p *Params) int { return p.ParamStudyJobs },
+		SetCount: func(p *Params, n int) { p.ParamStudyJobs = n },
+	},
+	{
+		Name:     "checkpoint",
+		Doc:      "block-aligned interleaved checkpoint writes to shared files",
+		Count:    func(p *Params) int { return p.CheckpointJobs },
+		SetCount: func(p *Params, n int) { p.CheckpointJobs = n },
+	},
+	{
+		Name:     "row-padded",
+		Doc:      "strided reader of padded matrix rows (two interval sizes)",
+		Count:    func(p *Params) int { return p.RowPaddedJobs },
+		SetCount: func(p *Params, n int) { p.RowPaddedJobs = n },
+	},
+	{
+		Name:     "scratch",
+		Doc:      "rare out-of-core job: read-write working file plus deleted temporaries",
+		Count:    func(p *Params) int { return p.ScratchJobs },
+		SetCount: func(p *Params, n int) { p.ScratchJobs = n },
+	},
+	{
+		Name:     "bulk-dump",
+		Doc:      "the 1 MB data-transfer spike: every node dumps megabyte requests",
+		Count:    func(p *Params) int { return p.BulkDumpJobs },
+		SetCount: func(p *Params, n int) { p.BulkDumpJobs = n },
+	},
+	{
+		Name:     "legacy-shared",
+		Doc:      "CFS shared-pointer modes 1 and 3 (<1% of opens)",
+		Count:    func(p *Params) int { return p.LegacySharedJobs },
+		SetCount: func(p *Params, n int) { p.LegacySharedJobs = n },
+	},
+	{
+		Name:     "untraced-parallel",
+		Doc:      "multi-node production job without the instrumented library",
+		Count:    func(p *Params) int { return p.UntracedParallJobs },
+		SetCount: func(p *Params, n int) { p.UntracedParallJobs = n },
+	},
+}
+
+// Archetypes returns the registry, in declaration (submission-plan)
+// order.
+func Archetypes() []Archetype {
+	return append([]Archetype(nil), registry...)
+}
+
+// ArchetypeNames returns every registry name in declaration order.
+func ArchetypeNames() []string {
+	names := make([]string, len(registry))
+	for i, a := range registry {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// LookupArchetype resolves a registry name (case-insensitive).
+func LookupArchetype(name string) (Archetype, error) {
+	for _, a := range registry {
+		if strings.EqualFold(name, a.Name) {
+			return a, nil
+		}
+	}
+	return Archetype{}, fmt.Errorf("workload: unknown archetype %q (known: %s)",
+		name, strings.Join(ArchetypeNames(), ", "))
+}
+
+// SetJobs sets one archetype's full-scale job count on p by registry
+// name.
+func SetJobs(p *Params, name string, n int) error {
+	a, err := LookupArchetype(name)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("workload: negative job count %d for archetype %q", n, name)
+	}
+	a.SetCount(p, n)
+	return nil
+}
+
+// Jobs reads one archetype's full-scale job count from p by registry
+// name.
+func Jobs(p *Params, name string) (int, error) {
+	a, err := LookupArchetype(name)
+	if err != nil {
+		return 0, err
+	}
+	return a.Count(p), nil
+}
+
+// Empty returns a Params with every archetype count zeroed but the
+// shared input pools and horizon kept at their calibrated sizes, the
+// base for scenario mixes built from scratch. (The pools must stay
+// non-empty: archetypes that read shared inputs pick from them.)
+func Empty(seed uint64) Params {
+	p := Default(seed)
+	for _, a := range registry {
+		a.SetCount(&p, 0)
+	}
+	return p
+}
+
+// TotalJobs sums every archetype's full-scale count in p.
+func TotalJobs(p *Params) int {
+	total := 0
+	for _, a := range registry {
+		total += a.Count(p)
+	}
+	return total
+}
