@@ -3,6 +3,12 @@
 // I/O-node cache sweep of Figure 9, and the combined configuration of
 // Section 4.8.
 //
+// The trace file is decoded through the streaming reader (index the
+// block headers, merge the drift-corrected stream); only the
+// postprocessed event sequence is materialized, because the cache
+// simulations make several passes over it -- the raw blocks never
+// are.
+//
 // Usage:
 //
 //	cachesim -fig 8 study.trc
@@ -13,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cachesim"
@@ -28,53 +35,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: cachesim (-fig 8 | -fig 9 | -combined) <trace file>")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cachesim:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	tr, err := trace.Read(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cachesim:", err)
-		os.Exit(1)
-	}
-	events := trace.Postprocess(tr)
-	blockBytes := int64(tr.Header.BlockBytes)
-
-	switch {
-	case *fig == 8:
-		runFig8(events, blockBytes)
-	case *fig == 9:
-		runFig9(events, blockBytes, int(tr.Header.IONodes))
-	case *combined:
-		runCombined(events, blockBytes)
-	default:
+	if *fig != 0 && *fig != 8 && *fig != 9 {
 		fmt.Fprintf(os.Stderr, "cachesim: no such experiment: fig %d\n", *fig)
 		os.Exit(2)
 	}
+	if err := run(os.Stdout, flag.Arg(0), *fig, *combined); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
 }
 
-func runFig8(events []trace.Event, blockBytes int64) {
-	fmt.Print(core.FormatFig8(core.RunFig8(events, blockBytes)))
+// run loads the trace at path and prints the selected experiment.
+func run(w io.Writer, path string, fig int, combined bool) error {
+	rd, err := trace.OpenReader(path)
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
+	events, err := rd.AllEvents()
+	if err != nil {
+		return err
+	}
+	blockBytes := int64(rd.Header().BlockBytes)
+
+	switch {
+	case fig == 8:
+		runFig8(w, events, blockBytes)
+	case fig == 9:
+		runFig9(w, events, blockBytes, int(rd.Header().IONodes))
+	case combined:
+		runCombined(w, events, blockBytes)
+	}
+	return nil
 }
 
-func runFig9(events []trace.Event, blockBytes int64, ioNodes int) {
-	fmt.Println("Figure 9: I/O-node caching (4 KB buffers)")
-	fmt.Printf("%10s  %10s  %10s\n", "buffers", "LRU", "FIFO")
+func runFig8(w io.Writer, events []trace.Event, blockBytes int64) {
+	fmt.Fprint(w, core.FormatFig8(core.RunFig8(events, blockBytes)))
+}
+
+func runFig9(w io.Writer, events []trace.Event, blockBytes int64, ioNodes int) {
+	fmt.Fprintln(w, "Figure 9: I/O-node caching (4 KB buffers)")
+	fmt.Fprintf(w, "%10s  %10s  %10s\n", "buffers", "LRU", "FIFO")
 	for _, buffers := range core.DefaultFig9Buffers() {
 		lru := cachesim.IONodeCache(events, blockBytes, ioNodes, buffers, cachesim.LRU)
 		fifo := cachesim.IONodeCache(events, blockBytes, ioNodes, buffers, cachesim.FIFO)
-		fmt.Printf("%10d  %9.1f%%  %9.1f%%\n", buffers, 100*lru.Rate(), 100*fifo.Rate())
+		fmt.Fprintf(w, "%10d  %9.1f%%  %9.1f%%\n", buffers, 100*lru.Rate(), 100*fifo.Rate())
 	}
-	fmt.Println("\nSensitivity to the number of I/O nodes (LRU, 4000 buffers):")
-	fmt.Printf("%10s  %10s\n", "I/O nodes", "hit rate")
+	fmt.Fprintln(w, "\nSensitivity to the number of I/O nodes (LRU, 4000 buffers):")
+	fmt.Fprintf(w, "%10s  %10s\n", "I/O nodes", "hit rate")
 	for _, n := range []int{1, 2, 5, 10, 15, 20} {
 		r := cachesim.IONodeCache(events, blockBytes, n, 4000, cachesim.LRU)
-		fmt.Printf("%10d  %9.1f%%\n", n, 100*r.Rate())
+		fmt.Fprintf(w, "%10d  %9.1f%%\n", n, 100*r.Rate())
 	}
 }
 
-func runCombined(events []trace.Event, blockBytes int64) {
-	fmt.Print(core.FormatCombined(core.RunCombined(events, blockBytes)))
+func runCombined(w io.Writer, events []trace.Event, blockBytes int64) {
+	fmt.Fprint(w, core.FormatCombined(core.RunCombined(events, blockBytes)))
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the cachesim golden over the shared smoke trace
+// (the trace itself is owned by cmd/traceanal's -update):
+//
+//	go test -run TestSmokeCombinedGolden -update ./cmd/cachesim/
+var update = flag.Bool("update", false, "rewrite testdata/traces/smoke.cachesim.golden")
+
+const (
+	smokeTrc    = "../../testdata/traces/smoke.trc"
+	smokeGolden = "../../testdata/traces/smoke.cachesim.golden"
+)
+
+// TestSmokeCombinedGolden pins the combined cache experiment over the
+// checked-in smoke trace, byte for byte: the replay-conformance CI
+// step runs the same command against the same golden.
+func TestSmokeCombinedGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, smokeTrc, 0, true); err != nil {
+		t.Fatal(err)
+	}
+
+	if *update {
+		if err := os.WriteFile(smokeGolden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", smokeGolden, out.Len())
+		return
+	}
+	want, err := os.ReadFile(smokeGolden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("cachesim -combined output diverged from %s; regenerate with -update if intentional", smokeGolden)
+	}
+}
+
+// TestFigModesRun: both figure experiments run over the smoke trace
+// without error and produce their headers.
+func TestFigModesRun(t *testing.T) {
+	var fig8, fig9 bytes.Buffer
+	if err := run(&fig8, smokeTrc, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(fig8.Bytes(), []byte("Figure 8")) {
+		t.Fatal("fig 8 output missing header")
+	}
+	if err := run(&fig9, smokeTrc, 9, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(fig9.Bytes(), []byte("Figure 9")) {
+		t.Fatal("fig 9 output missing header")
+	}
+}
+
+// TestRunErrors: bad input is an error, not a panic.
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, filepath.Join(t.TempDir(), "missing.trc"), 0, true); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

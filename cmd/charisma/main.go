@@ -22,8 +22,10 @@
 // -scenario runs a declarative scenario spec (see internal/scenario
 // and the README's "Scenarios" section): machine presets, workload
 // mixes by archetype name, seed/scale axes, and trace-driven cache
-// experiments, lowered onto the same sweep engine. -workers overrides
-// the spec's worker count; output is byte-identical either way.
+// experiments, lowered onto the same sweep engine -- or, with a
+// "replay" source, the same analysis and cache grid over recorded
+// .trc files instead of fresh simulations. -workers overrides the
+// spec's worker count; output is byte-identical either way.
 package main
 
 import (

@@ -1,23 +1,30 @@
 // Command traceanal analyzes a CHARISMA trace file produced by
-// tracegen (or charisma -trace): it postprocesses the raw blocks
-// (clock-drift correction and chronological sorting) and prints the
+// tracegen (or charisma -trace): it postprocesses the blocks
+// (clock-drift correction and chronological merging) and prints the
 // paper's figures and tables.
+//
+// The trace is never materialized: the reader indexes the file's
+// block headers (~40 bytes per block, ~1% of the file), then streams
+// the drift-corrected, time-merged event sequence -- one decoded
+// block per compute node in memory at a time -- into the incremental
+// analyzer, so traces far larger than memory analyze in a footprint
+// that grows only with that ~1% index, never with the event count.
 //
 // Usage:
 //
 //	traceanal study.trc [-raw]
 //
 // With -raw, the drift correction is skipped (the ablation from
-// DESIGN.md): events are sorted on their raw local-clock timestamps.
+// DESIGN.md): events are merged on their raw local-clock timestamps.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/analysis"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -28,30 +35,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: traceanal [-raw] <trace file>")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
+	if err := run(os.Stdout, flag.Arg(0), *raw); err != nil {
 		fmt.Fprintln(os.Stderr, "traceanal:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
-	tr, err := trace.Read(f)
+}
+
+// run streams the trace at path through the analyzer and writes the
+// report to w.
+func run(w io.Writer, path string, raw bool) error {
+	rd, err := trace.OpenReader(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceanal:", err)
-		os.Exit(1)
+		return err
 	}
-	var events []trace.Event
-	if *raw {
-		events = trace.PostprocessRaw(tr)
-	} else {
-		events = trace.Postprocess(tr)
+	defer rd.Close()
+
+	o := analysis.NewOnline(rd.Header())
+	stream := rd.Events
+	if raw {
+		stream = rd.RawEvents
 	}
-	var horizon sim.Time
-	if len(events) > 0 {
-		horizon = sim.Time(events[len(events)-1].Time)
+	if err := stream(func(ev *trace.Event) error {
+		o.Observe(ev)
+		return nil
+	}); err != nil {
+		return err
 	}
-	report := analysis.Analyze(tr.Header, events, horizon)
-	fmt.Printf("trace: %d compute nodes, %d I/O nodes, %d B blocks, seed %d, %d events\n\n",
-		tr.Header.ComputeNodes, tr.Header.IONodes, tr.Header.BlockBytes,
-		tr.Header.Seed, len(events))
-	fmt.Print(report.Format())
+	report := o.Finish(0) // horizon: the last event's timestamp
+
+	h := rd.Header()
+	fmt.Fprintf(w, "trace: %d compute nodes, %d I/O nodes, %d B blocks, seed %d, %d events\n\n",
+		h.ComputeNodes, h.IONodes, h.BlockBytes, h.Seed, rd.EventCount())
+	fmt.Fprint(w, report.Format())
+	return nil
 }

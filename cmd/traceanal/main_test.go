@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// update regenerates the smoke trace and its traceanal golden
+// (matching the scenario-corpus convention):
+//
+//	go test -run TestSmokeTraceGolden -update ./cmd/traceanal/
+//
+// cmd/cachesim has its own -update for its golden over the same
+// trace; regenerate it afterwards if the trace changed.
+var update = flag.Bool("update", false, "rewrite testdata/traces/smoke.trc and its goldens")
+
+const (
+	smokeTrc    = "../../testdata/traces/smoke.trc"
+	smokeGolden = "../../testdata/traces/smoke.traceanal.golden"
+
+	smokeSeed  = 42
+	smokeScale = 0.01
+)
+
+// memSink is an in-memory core.StreamSink.
+type memSink struct{ buf []byte }
+
+func (m *memSink) Write(p []byte) (int, error) {
+	m.buf = append(m.buf, p...)
+	return len(p), nil
+}
+
+func (m *memSink) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(m.buf)) {
+		return 0, fmt.Errorf("memSink: offset %d out of range", off)
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// smokeTraceBytes regenerates the smoke trace's encoding: the seed-42
+// scale-0.01 study streamed through the spill writer, exactly what
+// `tracegen -o smoke.trc -scale 0.01 -seed 42` produces.
+func smokeTraceBytes(t testing.TB) []byte {
+	t.Helper()
+	var sink memSink
+	if _, err := core.RunStudyStreaming(core.DefaultConfig(smokeSeed, smokeScale), &sink); err != nil {
+		t.Fatal(err)
+	}
+	return sink.buf
+}
+
+// TestSmokeTraceGolden pins the checked-in smoke trace and its
+// traceanal report: the trace must be exactly what the streaming
+// study produces today (so the replay corpus can never drift from the
+// simulator), and analyzing it must reproduce the golden byte for
+// byte.
+func TestSmokeTraceGolden(t *testing.T) {
+	fresh := smokeTraceBytes(t)
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(smokeTrc), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(smokeTrc, fresh, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := run(&out, smokeTrc, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(smokeGolden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes) and %s (%d bytes)", smokeTrc, len(fresh), smokeGolden, out.Len())
+		return
+	}
+
+	checked, err := os.ReadFile(smokeTrc)
+	if err != nil {
+		t.Fatalf("reading smoke trace (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(checked, fresh) {
+		t.Fatalf("checked-in smoke.trc (%d bytes) no longer matches the streaming study (%d bytes); regenerate with -update if the change is intentional",
+			len(checked), len(fresh))
+	}
+
+	var out bytes.Buffer
+	if err := run(&out, smokeTrc, false); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(smokeGolden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		i := 0
+		for i < out.Len() && i < len(want) && out.Bytes()[i] == want[i] {
+			i++
+		}
+		t.Fatalf("traceanal output diverged from %s (first diff near byte %d); regenerate with -update if intentional", smokeGolden, i)
+	}
+}
+
+// TestRawModeRuns exercises the -raw ablation path over the smoke
+// trace: it must succeed and differ from the corrected report (the
+// drift correction does real work).
+func TestRawModeRuns(t *testing.T) {
+	var corrected, raw bytes.Buffer
+	if err := run(&corrected, smokeTrc, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&raw, smokeTrc, true); err != nil {
+		t.Fatal(err)
+	}
+	if corrected.Len() == 0 || raw.Len() == 0 {
+		t.Fatal("empty report")
+	}
+	if bytes.Equal(corrected.Bytes(), raw.Bytes()) {
+		t.Fatal("raw and corrected reports identical: drift correction is a no-op on the smoke trace")
+	}
+}
+
+// TestRunErrors: missing and corrupt files produce errors, not panics.
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, filepath.Join(t.TempDir(), "missing.trc"), false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.trc")
+	if err := os.WriteFile(bad, []byte("CHARISMA garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&out, bad, false); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}

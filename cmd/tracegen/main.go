@@ -2,6 +2,12 @@
 // trace to a binary file, without analyzing it. Use traceanal or
 // cachesim on the result.
 //
+// The trace is streamed: each block is spilled to the file as the
+// collector receives it (core.RunStudyStreaming), so peak memory is
+// bounded by the per-node trace buffers, not the trace length. On any
+// write failure -- a full disk, a revoked file -- tracegen removes the
+// partial file and exits non-zero, reporting how many bytes landed.
+//
 // Usage:
 //
 //	tracegen -o study.trc [-scale 0.1] [-seed 42]
@@ -10,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -21,21 +28,45 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload seed")
 	flag.Parse()
 
-	res := core.RunStudy(core.DefaultConfig(*seed, *scale))
-	f, err := os.Create(*out)
-	if err != nil {
+	if err := run(os.Stdout, *out, *seed, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
-	n, err := res.Trace.WriteTo(f)
+}
+
+// run streams the study's trace straight into the output file. On
+// failure the partial file is removed so a short write never leaves a
+// truncated trace that a later analysis run would trip over.
+func run(w io.Writer, out string, seed uint64, scale float64) error {
+	f, err := os.Create(out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen: writing trace:", err)
-		os.Exit(1)
+		return err
+	}
+	res, err := core.RunStudyStreaming(core.DefaultConfig(seed, scale), f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w (%s)", err, cleanupPartial(out))
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return fmt.Errorf("closing trace: %w (%s)", err, cleanupPartial(out))
 	}
-	fmt.Printf("tracegen: %s: %d bytes, %d blocks, %d events (%.1f simulated hours)\n",
-		*out, n, len(res.Trace.Blocks), len(res.Events), res.Horizon.ToSeconds()/3600)
+	fmt.Fprintf(w, "tracegen: %s: %d bytes, %d blocks, %d events (%.1f simulated hours)\n",
+		out, res.TraceBytes, res.TraceBlocks, res.EventCount, res.Horizon.ToSeconds()/3600)
+	return nil
+}
+
+// cleanupPartial removes the truncated output after a failed write,
+// but only a regular file: pointing -o at a device or pipe must never
+// unlink it. Returns a note for the error message including how many
+// bytes had landed.
+func cleanupPartial(out string) string {
+	fi, err := os.Lstat(out)
+	if err != nil || !fi.Mode().IsRegular() {
+		return "left " + out + " in place"
+	}
+	landed := fmt.Sprintf("%d bytes landed", fi.Size())
+	if err := os.Remove(out); err != nil {
+		return "could not remove partial " + out + ", " + landed
+	}
+	return "removed partial " + out + ", " + landed
 }

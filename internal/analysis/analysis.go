@@ -94,218 +94,16 @@ func Analyze(header trace.Header, events []trace.Event, horizon sim.Time) *Repor
 // The returned Report borrows pooled CDFs and histograms: once it is
 // discarded, return them with ReclaimReport. A nil scratch allocates
 // everything fresh (identical to Analyze).
+//
+// Both batch entry points are loops over the incremental analyzer
+// (see Online), so the streaming and batch paths produce identical
+// reports by construction.
 func AnalyzeInto(s *Scratch, header trace.Header, events []trace.Event, horizon sim.Time) *Report {
-	r := &Report{
-		Header:         header,
-		JobConcurrency: make(map[int]sim.Time),
-		NodesPerJob:    s.hist(),
-		NodeTime:       make(map[int]float64),
-		FilesPerJob:    s.hist(),
-		FilesByClass:   make(map[FileClass]int),
-		FileSizeCDF:    s.cdf(),
-
-		ReadCountBySize:  s.cdf(),
-		ReadBytesBySize:  s.cdf(),
-		WriteCountBySize: s.cdf(),
-		WriteBytesBySize: s.cdf(),
-
-		SeqPct:       newClassCDFs(s),
-		ConsPct:      newClassCDFs(s),
-		IntervalHist: s.hist(),
-		ReqSizeHist:  s.hist(),
-		ByteSharing:  newClassCDFs(s),
-		BlockSharing: newClassCDFs(s),
-	}
-	blockBytes := int64(header.BlockBytes)
-	if blockBytes <= 0 {
-		blockBytes = 4096
-	}
-
-	files := s.fileMap()
-	var jobStart map[uint32]sim.Time
-	var jobNodes map[uint32]int
-	var jobFiles map[uint32]map[uint64]struct{}
-	if s != nil {
-		if s.jobStart == nil {
-			s.jobStart = make(map[uint32]sim.Time)
-			s.jobNodes = make(map[uint32]int)
-			s.jobFiles = make(map[uint32]map[uint64]struct{})
-		}
-		jobStart, jobNodes, jobFiles = s.jobStart, s.jobNodes, s.jobFiles
-	} else {
-		jobStart = make(map[uint32]sim.Time)
-		jobNodes = make(map[uint32]int)
-		jobFiles = make(map[uint32]map[uint64]struct{})
-	}
-	var lastT sim.Time
-
-	var edges []edge
-	if s != nil {
-		edges = s.edges[:0]
-	}
-
+	o := OnlineInto(s, header)
 	for i := range events {
-		ev := &events[i]
-		t := sim.Time(ev.Time)
-		if t > lastT {
-			lastT = t
-		}
-		switch ev.Type {
-		case trace.EvJobStart:
-			r.TotalJobs++
-			nodes := int(ev.Size)
-			if nodes <= 1 {
-				r.SingleNodeJobs++
-			} else {
-				r.MultiNodeJobs++
-			}
-			r.NodesPerJob.Add(int64(nodes))
-			jobStart[ev.Job] = t
-			jobNodes[ev.Job] = nodes
-			edges = append(edges, edge{t, +1})
-		case trace.EvJobEnd:
-			if start, ok := jobStart[ev.Job]; ok {
-				r.NodeTime[jobNodes[ev.Job]] +=
-					float64(jobNodes[ev.Job]) * (t - start).ToSeconds()
-			}
-			edges = append(edges, edge{t, -1})
-		case trace.EvOpen:
-			r.TotalOpens++
-			if int(ev.Mode) < len(r.ModeOpens) {
-				r.ModeOpens[ev.Mode]++
-			}
-			if jobFiles[ev.Job] == nil {
-				jobFiles[ev.Job] = s.fileSet()
-			}
-			jobFiles[ev.Job][ev.File] = struct{}{}
-			fileFor(s, files, ev.File).observe(ev, s)
-		case trace.EvClose, trace.EvDelete:
-			fileFor(s, files, ev.File).observe(ev, s)
-		case trace.EvRead:
-			r.ReadCountBySize.Add(float64(ev.Size))
-			fileFor(s, files, ev.File).observe(ev, s)
-		case trace.EvWrite:
-			r.WriteCountBySize.Add(float64(ev.Size))
-			fileFor(s, files, ev.File).observe(ev, s)
-		case trace.EvReadStrided:
-			r.ReadCountBySize.Add(float64(ev.Bytes()))
-			fileFor(s, files, ev.File).observe(ev, s)
-		case trace.EvWriteStrided:
-			r.WriteCountBySize.Add(float64(ev.Bytes()))
-			fileFor(s, files, ev.File).observe(ev, s)
-		case trace.EvSeek:
-			// Seeks move pointers; the request stream itself is what
-			// the paper characterizes.
-		}
+		o.Observe(&events[i])
 	}
-	if horizon <= 0 {
-		horizon = lastT
-	}
-	r.Horizon = horizon
-	r.JobConcurrency = concurrencyFromEdges(edges, horizon)
-
-	// Traced jobs: those that opened at least one file.
-	r.TracedJobs = len(jobFiles)
-	for _, fs := range jobFiles {
-		r.FilesPerJob.Add(int64(len(fs)))
-	}
-
-	// Per-file statistics.
-	var ids []uint64
-	if s != nil {
-		ids = s.ids[:0]
-	} else {
-		ids = make([]uint64, 0, len(files))
-	}
-	for id := range files {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	var tempOpens int64
-	var roFiles, woFiles int
-	var roBytes, woBytes float64
-	var oneIntervalZero, oneIntervalTotal int64
-	for _, id := range ids {
-		f := files[id]
-		r.FilesOpened++
-		class := f.class()
-		r.FilesByClass[class]++
-		if class == ReadWrite {
-			r.ReadWriteSameOpen++
-		}
-		if class == ReadOnly {
-			roFiles++
-			roBytes += float64(f.bytesRead)
-		}
-		if class == WriteOnly {
-			woFiles++
-			woBytes += float64(f.bytesWritten)
-		}
-		tempOpens += int64(f.tempOpens)
-		if f.closed {
-			r.FileSizeCDF.Add(float64(f.sizeAtClose))
-		}
-
-		// Figures 5-6: files with more than one request, per the paper.
-		if f.totalRequests() > 1 {
-			if seqPct, consPct, ok := f.seqConsPct(); ok {
-				r.SeqPct[class].Add(seqPct)
-				r.ConsPct[class].Add(consPct)
-			}
-		}
-
-		// Table 2.
-		nIntervals, allZero := f.distinctIntervals(s)
-		r.IntervalHist.Add(int64(nIntervals))
-		if nIntervals == 1 {
-			oneIntervalTotal++
-			if allZero {
-				oneIntervalZero++
-			}
-		}
-
-		// Table 3.
-		r.ReqSizeHist.Add(int64(len(f.reqSizes)))
-
-		// Figure 7: concurrently open on >= 2 nodes.
-		if f.maxOpenNodes >= 2 {
-			if bytePct, blockPct, ok := f.sharing(blockBytes, s); ok {
-				r.ByteSharing[class].Add(bytePct)
-				r.BlockSharing[class].Add(blockPct)
-			}
-		}
-	}
-	if r.TotalOpens > 0 {
-		r.TempOpenFraction = float64(tempOpens) / float64(r.TotalOpens)
-	}
-	if roFiles > 0 {
-		r.MeanBytesRead = roBytes / float64(roFiles)
-	}
-	if woFiles > 0 {
-		r.MeanBytesWritten = woBytes / float64(woFiles)
-	}
-	if oneIntervalTotal > 0 {
-		r.OneIntervalZeroFrac = float64(oneIntervalZero) / float64(oneIntervalTotal)
-	}
-
-	// Figure 4 byte-weighted CDFs and small-request fractions.
-	fillBytesBySize(r.ReadCountBySize, r.ReadBytesBySize)
-	fillBytesBySize(r.WriteCountBySize, r.WriteBytesBySize)
-	r.SmallReadFrac = r.ReadCountBySize.At(SmallRequestBytes - 1)
-	r.SmallWriteFrac = r.WriteCountBySize.At(SmallRequestBytes - 1)
-	r.SmallReadData = r.ReadBytesBySize.At(SmallRequestBytes - 1)
-	r.SmallWriteData = r.WriteBytesBySize.At(SmallRequestBytes - 1)
-
-	// The report is complete: everything it exposes has been copied or
-	// summarized out of the working state, so the accumulators, job
-	// maps, and edge list can go back to the pool for the next study.
-	if s != nil {
-		s.edges = edges
-		s.ids = ids
-		s.release()
-	}
-	return r
+	return o.Finish(horizon)
 }
 
 func fileFor(s *Scratch, files map[uint64]*fileAcc, id uint64) *fileAcc {

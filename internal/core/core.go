@@ -96,11 +96,11 @@ func RunStudy(cfg Config) *Result {
 	return runStudy(cfg, nil)
 }
 
-// runStudy is the study pipeline shared by RunStudy (a == nil,
-// everything freshly allocated) and Arena.RunStudy (storage drawn
-// from and returned to the arena's pools).
-func runStudy(cfg Config, a *Arena) *Result {
-	cfg = cfg.normalized()
+// studyParams resolves a normalized config into the workload and
+// machine configurations a study runs: overrides applied, the seed
+// stamped onto both, and the large-scale disk-capacity adjustment.
+// It is shared by the batch and streaming study pipelines.
+func studyParams(cfg Config) (workload.Params, machine.Config) {
 	wp := workload.Default(cfg.Seed)
 	if cfg.Workload != nil {
 		wp = *cfg.Workload
@@ -122,6 +122,15 @@ func runStudy(cfg Config, a *Arena) *Result {
 		grow := int64(1 + 15*cfg.Scale)
 		mc.FS.IONode.Disk.CapacityBytes *= grow
 	}
+	return wp, mc
+}
+
+// runStudy is the study pipeline shared by RunStudy (a == nil,
+// everything freshly allocated) and Arena.RunStudy (storage drawn
+// from and returned to the arena's pools).
+func runStudy(cfg Config, a *Arena) *Result {
+	cfg = cfg.normalized()
+	wp, mc := studyParams(cfg)
 
 	var k *sim.Kernel
 	var mach *machine.Arena

@@ -11,10 +11,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/cachesim"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -42,6 +47,9 @@ func RunScenario(ctx context.Context, spec *scenario.Spec) (*ScenarioResult, err
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.IsReplay() {
+		return runReplayScenario(ctx, spec)
+	}
 	plan := spec.CachePlan()
 	specs := ScenarioSpecs(spec)
 	// Cache experiments run inside the sweep workers, on each study's
@@ -62,6 +70,94 @@ func RunScenario(ctx context.Context, spec *scenario.Spec) (*ScenarioResult, err
 		PostStudy: post,
 	})
 	return &ScenarioResult{Spec: spec, Sweep: sweep, CacheTexts: texts}, sweep.Err
+}
+
+// runReplayScenario lowers a replay scenario: each recorded trace
+// file is one study -- streamed through the reader's drift-corrected
+// merge, analyzed, and fed to the spec's cache experiments -- with
+// the traces fanned across workers exactly like simulated studies.
+// Every outcome depends only on its own trace file, so the formatted
+// output is byte-identical at any worker count.
+func runReplayScenario(ctx context.Context, spec *scenario.Spec) (*ScenarioResult, error) {
+	plan := spec.CachePlan()
+	paths := spec.ReplayTraces()
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	sweep := &SweepResult{Outcomes: make([]StudyOutcome, len(paths)), Workers: workers}
+	texts := make([]string, len(paths))
+	errs := make([]error, len(paths))
+	for i, path := range paths {
+		sweep.Outcomes[i].Spec = StudySpec{Label: replayLabel(path)}
+	}
+	start := time.Now()
+	parallelEach(ctx, len(paths), workers, func(_, i int) {
+		out, text, err := replayStudy(paths[i], plan)
+		if err != nil {
+			errs[i] = fmt.Errorf("core: replay %s: %w", sweep.Outcomes[i].Spec.Label, err)
+			return
+		}
+		out.Spec = sweep.Outcomes[i].Spec
+		sweep.Outcomes[i] = out
+		texts[i] = text
+	})
+	sweep.Elapsed = time.Since(start)
+	sweep.Err = ctx.Err()
+	res := &ScenarioResult{Spec: spec, Sweep: sweep, CacheTexts: texts}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, sweep.Err
+}
+
+// replayLabel names a replay study after its trace file.
+func replayLabel(path string) string {
+	return "replay=" + strings.TrimSuffix(filepath.Base(path), ".trc")
+}
+
+// replayStudy runs one recorded trace through analysis and the cache
+// experiments. The event stream is materialized once (the cache
+// simulations make several passes over it); the raw blocks never are.
+func replayStudy(path string, plan *scenario.ResolvedCache) (StudyOutcome, string, error) {
+	rd, err := trace.OpenReader(path)
+	if err != nil {
+		return StudyOutcome{}, "", err
+	}
+	defer rd.Close()
+	events, err := rd.AllEvents()
+	if err != nil {
+		return StudyOutcome{}, "", err
+	}
+	header := rd.Header()
+	var horizon sim.Time
+	if len(events) > 0 {
+		horizon = sim.Time(events[len(events)-1].Time)
+	}
+	report := analysis.Analyze(header, events, horizon)
+	out := StudyOutcome{
+		Done:          true,
+		ReportText:    report.Format(),
+		Header:        header,
+		Horizon:       horizon,
+		EventCount:    len(events),
+		TraceRecords:  int64(len(events)),
+		TraceMessages: int64(rd.NumBlocks()),
+	}
+	text := ""
+	if plan != nil {
+		blockBytes := int64(header.BlockBytes)
+		if blockBytes <= 0 {
+			blockBytes = 4096 // tolerate foreign traces, as the analyzer does
+		}
+		text = cacheExperimentText(plan, events, blockBytes)
+	}
+	return out, text, nil
 }
 
 // ScenarioSpecs builds the deterministic study list a scenario runs:

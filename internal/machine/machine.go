@@ -217,6 +217,20 @@ func NewWith(k *sim.Kernel, cfg Config, arena *Arena) *Machine {
 // Kernel returns the simulation kernel.
 func (m *Machine) Kernel() *sim.Kernel { return m.k }
 
+// SetTraceSink switches the collector to streaming mode: every block
+// is written to sink on arrival instead of retained in memory, so the
+// tracing pipeline's footprint stays bounded by the per-node buffers
+// however long the study runs (see core.RunStudyStreaming). Call it
+// before any job runs; the first sink error is sticky and reported by
+// TraceSinkErr.
+func (m *Machine) SetTraceSink(s trace.BlockSink) { m.collector.SetSink(s) }
+
+// TraceSinkErr returns the first error the trace sink reported.
+func (m *Machine) TraceSinkErr() error { return m.collector.Err() }
+
+// TraceHeader returns the header of the trace being collected.
+func (m *Machine) TraceHeader() trace.Header { return m.collector.Header() }
+
 // ComputeNodes returns the machine's compute-node count (the largest
 // job it can run).
 func (m *Machine) ComputeNodes() int { return m.cfg.ComputeNodes }

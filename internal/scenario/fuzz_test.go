@@ -32,6 +32,8 @@ func FuzzScenarioParse(f *testing.F) {
 	f.Add([]byte(`{"version":1,"name":"x","scales":[1e308]}`))
 	f.Add([]byte(`{"version":1,"name":"x","workloads":[{"base":"empty","jobs":{"cfd-sim":1}}]}`))
 	f.Add([]byte(`{"version":1,"name":"x","cache":{"fig9":{"ioNodes":[1024],"buffers":[1]}}}`))
+	f.Add([]byte(`{"version":1,"name":"x","replay":{"traces":["../traces/smoke.trc"]}}`))
+	f.Add([]byte(`{"version":1,"name":"x","seeds":[1],"replay":{"traces":["a.trc"]}}`))
 	f.Add([]byte(`{"version":-1}`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`[]`))

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/cachesim"
@@ -54,6 +55,9 @@ const (
 	maxNameLen     = 64
 	maxDescription = 2048
 	maxHorizonHrs  = 10_000
+
+	maxReplayTraces = 32
+	maxTracePathLen = 4096
 )
 
 // Spec is one declarative scenario, as decoded from JSON. Call Parse
@@ -83,6 +87,13 @@ type Spec struct {
 	// mix and contributes no label component.
 	Workloads []Mix `json:"workloads,omitempty"`
 
+	// Replay switches the scenario's workload source from fresh
+	// simulations to recorded trace files: each named .trc becomes
+	// one study, analyzed and fed to the cache experiments exactly
+	// like a simulated study's event stream. A replay scenario
+	// declares no seed/scale/workload/machine axes.
+	Replay *ReplaySpec `json:"replay,omitempty"`
+
 	// Cache selects trace-driven cache experiments to run on every
 	// study's event stream.
 	Cache *CacheSpec `json:"cache,omitempty"`
@@ -91,6 +102,20 @@ type Spec struct {
 	machines []ResolvedMachine
 	mixes    []ResolvedMix
 	cache    *ResolvedCache
+
+	// baseDir resolves relative replay paths; set by Load to the spec
+	// file's directory, empty for specs parsed from bytes (paths then
+	// resolve against the working directory).
+	baseDir string
+}
+
+// ReplaySpec names the recorded trace files a replay scenario runs
+// over.
+type ReplaySpec struct {
+	// Traces lists .trc files (written by tracegen, charisma -trace,
+	// or core.RunStudyStreaming). Relative paths resolve against the
+	// spec file's directory when the spec was loaded from disk.
+	Traces []string `json:"traces"`
 }
 
 // Mix describes one workload mixture by archetype registry name.
@@ -221,6 +246,7 @@ func Load(path string) (*Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w (in %s)", err, path)
 	}
+	s.baseDir = filepath.Dir(path)
 	return s, nil
 }
 
@@ -266,6 +292,24 @@ func (s *Spec) Validate() error {
 	}
 	if s.Workers < 0 || s.Workers > maxWorkers {
 		return fmt.Errorf("scenario %s: workers %d out of range [0, %d]", s.Name, s.Workers, maxWorkers)
+	}
+
+	// Replay source: recorded traces replace the simulation axes.
+	if s.Replay != nil {
+		if len(s.Seeds) > 0 || len(s.Scales) > 0 || len(s.Workloads) > 0 || len(s.Machines) > 0 {
+			return fmt.Errorf("scenario %s: replay scenarios take no seeds/scales/workloads/machines axes (the recorded traces fix them)", s.Name)
+		}
+		if len(s.Replay.Traces) == 0 {
+			return fmt.Errorf("scenario %s: replay lists no trace files", s.Name)
+		}
+		if len(s.Replay.Traces) > maxReplayTraces {
+			return fmt.Errorf("scenario %s: replay lists %d traces (max %d)", s.Name, len(s.Replay.Traces), maxReplayTraces)
+		}
+		for i, p := range s.Replay.Traces {
+			if p == "" || len(p) > maxTracePathLen {
+				return fmt.Errorf("scenario %s: replay trace %d has an empty or oversized path", s.Name, i)
+			}
+		}
 	}
 
 	// Machine axis.
@@ -528,9 +572,34 @@ func (s *Spec) MixList() []ResolvedMix { return s.mixes }
 // succeeded.
 func (s *Spec) CachePlan() *ResolvedCache { return s.cache }
 
-// Studies returns the number of studies the scenario will run.
+// Studies returns the number of studies the scenario will run: one
+// per replay trace, or the full simulation cross product.
 func (s *Spec) Studies() int {
+	if s.Replay != nil {
+		return len(s.Replay.Traces)
+	}
 	return len(s.SeedList()) * len(s.ScaleList()) * len(s.mixes) * len(s.machines)
+}
+
+// IsReplay reports whether the scenario runs over recorded traces
+// instead of fresh simulations.
+func (s *Spec) IsReplay() bool { return s.Replay != nil }
+
+// ReplayTraces returns the replay trace paths with relative paths
+// resolved against the spec file's directory (nil for simulation
+// scenarios). Validate must have succeeded.
+func (s *Spec) ReplayTraces() []string {
+	if s.Replay == nil {
+		return nil
+	}
+	out := make([]string, len(s.Replay.Traces))
+	for i, p := range s.Replay.Traces {
+		if s.baseDir != "" && !filepath.IsAbs(p) {
+			p = filepath.Join(s.baseDir, p)
+		}
+		out[i] = p
+	}
+	return out
 }
 
 // MultiMix reports whether the spec declares an explicit workload

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -203,5 +204,60 @@ func TestLoadMissingFile(t *testing.T) {
 	// A real corpus file loads and carries the path in errors.
 	if _, err := Load("../../testdata/scenarios/fig8.json"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParseReplay: the replay source validates, counts one study per
+// trace, and resolves relative paths against the spec directory when
+// loaded from disk.
+func TestParseReplay(t *testing.T) {
+	s, err := Parse([]byte(`{"version":1,"name":"r",
+		"replay":{"traces":["a.trc","sub/b.trc"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsReplay() || s.Studies() != 2 {
+		t.Fatalf("replay spec lowered wrong: replay=%v studies=%d", s.IsReplay(), s.Studies())
+	}
+	// Parsed from bytes: paths pass through unchanged.
+	if got := s.ReplayTraces(); got[0] != "a.trc" || got[1] != "sub/b.trc" {
+		t.Fatalf("paths rewritten without a base dir: %v", got)
+	}
+
+	// Loaded from disk: relative paths resolve against the spec dir.
+	loaded, err := Load("../../testdata/scenarios/replay-smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join("..", "..", "testdata", "scenarios", "..", "traces", "smoke.trc")
+	if got := loaded.ReplayTraces(); len(got) != 1 || got[0] != filepath.Clean(want) {
+		t.Fatalf("replay path = %v, want %v", got, filepath.Clean(want))
+	}
+}
+
+// TestParseReplayRejections: replay excludes the simulation axes and
+// bounds its trace list.
+func TestParseReplayRejections(t *testing.T) {
+	cases := map[string]string{
+		"axes":    `{"version":1,"name":"r","seeds":[1],"replay":{"traces":["a.trc"]}}`,
+		"scales":  `{"version":1,"name":"r","scales":[0.01],"replay":{"traces":["a.trc"]}}`,
+		"mixes":   `{"version":1,"name":"r","workloads":[{"name":"m"}],"replay":{"traces":["a.trc"]}}`,
+		"machine": `{"version":1,"name":"r","machines":["nas"],"replay":{"traces":["a.trc"]}}`,
+		"empty":   `{"version":1,"name":"r","replay":{"traces":[]}}`,
+		"noList":  `{"version":1,"name":"r","replay":{}}`,
+		"badPath": `{"version":1,"name":"r","replay":{"traces":[""]}}`,
+	}
+	for name, body := range cases {
+		if _, err := Parse([]byte(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+	many := make([]string, 33)
+	for i := range many {
+		many[i] = `"t.trc"`
+	}
+	body := `{"version":1,"name":"r","replay":{"traces":[` + strings.Join(many, ",") + `]}}`
+	if _, err := Parse([]byte(body)); err == nil {
+		t.Error("33 traces accepted (max 32)")
 	}
 }

@@ -53,48 +53,163 @@ func (h *Header) decode(buf []byte) error {
 
 const blockHeaderSize = 2 + 4 + 8 + 8 // node + count + sendLocal + recvCollector
 
+// countingWriter counts the bytes that actually reach the underlying
+// writer, so partial-write reporting stays accurate through the
+// Writer's buffering.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Writer encodes a trace incrementally: the header up front, then one
+// block at a time as WriteBlock is called. It is the streaming
+// counterpart of Trace.WriteTo -- the collector (or tracegen) flushes
+// each block to disk as it arrives instead of holding the whole trace
+// in memory -- and it maintains the block index a Reader needs, so the
+// file it just wrote can be re-read without a scan pass.
+//
+// Errors are sticky: after any write error every method returns it.
+// Call Flush once all blocks are written.
+type Writer struct {
+	cw      countingWriter
+	bw      *bufio.Writer
+	header  Header
+	index   []BlockInfo
+	noIndex bool  // batch WriteTo never reads the index; skip building it
+	blocks  int
+	off     int64 // logical offset of the next block header
+	events  int64 // records written so far (flatten index of the next)
+	err     error
+}
+
+// NewWriter starts an encoded trace on w by writing the header.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	tw := &Writer{header: h, off: headerSize}
+	tw.cw.w = w
+	tw.bw = bufio.NewWriter(&tw.cw)
+	var hbuf [headerSize]byte
+	h.encode(hbuf[:])
+	if _, err := tw.bw.Write(hbuf[:]); err != nil {
+		tw.err = err
+		return tw, err
+	}
+	return tw, nil
+}
+
+// WriteBlock appends one block to the trace.
+func (w *Writer) WriteBlock(b Block) error {
+	if w.err != nil {
+		return w.err
+	}
+	var bbuf [blockHeaderSize]byte
+	binary.LittleEndian.PutUint16(bbuf[0:], b.Node)
+	binary.LittleEndian.PutUint32(bbuf[2:], uint32(len(b.Events)))
+	binary.LittleEndian.PutUint64(bbuf[6:], uint64(b.SendLocal))
+	binary.LittleEndian.PutUint64(bbuf[14:], uint64(b.RecvCollector))
+	if _, err := w.bw.Write(bbuf[:]); err != nil {
+		w.err = err
+		return err
+	}
+	var ebuf [EventSize]byte
+	for i := range b.Events {
+		b.Events[i].Encode(ebuf[:])
+		if _, err := w.bw.Write(ebuf[:]); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	if !w.noIndex {
+		w.index = append(w.index, BlockInfo{
+			Offset:        w.off,
+			StartIdx:      w.events,
+			SendLocal:     b.SendLocal,
+			RecvCollector: b.RecvCollector,
+			Count:         uint32(len(b.Events)),
+			Node:          b.Node,
+		})
+	}
+	w.off += blockHeaderSize + int64(len(b.Events))*EventSize
+	w.events += int64(len(b.Events))
+	w.blocks++
+	return nil
+}
+
+// Flush writes any buffered bytes through to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// BytesWritten reports the bytes that reached the underlying writer.
+// After a successful Flush this is the encoded trace size; after an
+// error it is the length of the partial file left behind.
+func (w *Writer) BytesWritten() int64 { return w.cw.n }
+
+// EventCount reports the event records written so far.
+func (w *Writer) EventCount() int64 { return w.events }
+
+// BlockCount reports the blocks written so far.
+func (w *Writer) BlockCount() int { return w.blocks }
+
+// Reader returns a Reader over the trace this Writer just encoded,
+// reusing the index built during writing instead of re-scanning the
+// file. src must read back exactly the bytes written (an *os.File
+// opened for read/write, or any in-memory sink). Flush must have
+// succeeded first.
+func (w *Writer) Reader(src io.ReaderAt) (*Reader, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	if w.noIndex {
+		return nil, fmt.Errorf("trace: this Writer did not build an index; use NewReader")
+	}
+	if buffered := w.bw.Buffered(); buffered > 0 {
+		return nil, fmt.Errorf("trace: %d bytes still buffered; call Flush before Reader", buffered)
+	}
+	return &Reader{r: src, header: w.header, index: w.index, events: w.events}, nil
+}
+
 // WriteTo serializes the trace. The layout is:
 //
 //	header | block*
 //
 // where each block is a small header (node, record count, the two
 // drift-correction timestamps) followed by its fixed-size event
-// records.
+// records. The returned count is the bytes that reached w, so on error
+// it is the size of the partial output.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var written int64
-	var hbuf [headerSize]byte
-	t.Header.encode(hbuf[:])
-	n, err := bw.Write(hbuf[:])
-	written += int64(n)
+	tw, err := NewWriter(w, t.Header)
+	tw.noIndex = true // nothing re-reads a batch serialization through tw
 	if err != nil {
-		return written, err
+		return tw.BytesWritten(), err
 	}
-	var bbuf [blockHeaderSize]byte
-	var ebuf [EventSize]byte
 	for _, blk := range t.Blocks {
-		binary.LittleEndian.PutUint16(bbuf[0:], blk.Node)
-		binary.LittleEndian.PutUint32(bbuf[2:], uint32(len(blk.Events)))
-		binary.LittleEndian.PutUint64(bbuf[6:], uint64(blk.SendLocal))
-		binary.LittleEndian.PutUint64(bbuf[14:], uint64(blk.RecvCollector))
-		n, err = bw.Write(bbuf[:])
-		written += int64(n)
-		if err != nil {
-			return written, err
-		}
-		for i := range blk.Events {
-			blk.Events[i].Encode(ebuf[:])
-			n, err = bw.Write(ebuf[:])
-			written += int64(n)
-			if err != nil {
-				return written, err
-			}
+		if err := tw.WriteBlock(blk); err != nil {
+			return tw.BytesWritten(), err
 		}
 	}
-	return written, bw.Flush()
+	err = tw.Flush()
+	return tw.BytesWritten(), err
 }
 
-// Read parses a trace file produced by WriteTo.
+// Read parses a trace file produced by WriteTo, materializing every
+// block in memory. For bounded-memory access to large traces use
+// NewReader/OpenReader instead.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	var hbuf [headerSize]byte
@@ -120,14 +235,23 @@ func Read(r io.Reader) (*Trace, error) {
 			RecvCollector: int64(binary.LittleEndian.Uint64(bbuf[14:])),
 		}
 		count := binary.LittleEndian.Uint32(bbuf[2:])
-		blk.Events = make([]Event, count)
+		// Grow incrementally with a capped initial capacity: the count
+		// field is untrusted input, and a corrupt value must hit a
+		// truncation error below, not a giant up-front allocation.
+		capHint := int(count)
+		if capHint > 4096 {
+			capHint = 4096
+		}
+		blk.Events = make([]Event, 0, capHint)
 		for i := uint32(0); i < count; i++ {
 			if _, err := io.ReadFull(br, ebuf[:]); err != nil {
 				return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
 			}
-			if err := blk.Events[i].Decode(ebuf[:]); err != nil {
+			var ev Event
+			if err := ev.Decode(ebuf[:]); err != nil {
 				return nil, err
 			}
+			blk.Events = append(blk.Events, ev)
 		}
 		t.Blocks = append(t.Blocks, blk)
 	}

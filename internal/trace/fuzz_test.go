@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceFileRoundTrip is the .trc format's robustness and
+// canonicality contract, fuzzing both directions at once:
+//
+//   - decode(data): NewReader and the legacy Read must never panic,
+//     must agree on what is a valid trace, and for every accepted
+//     file re-encoding the decoded blocks must reproduce the input
+//     byte for byte (the encoding is canonical: every byte of every
+//     record is meaningful).
+//   - encode(events(data)): an arbitrary event sequence derived from
+//     the input must survive encode -> decode unchanged.
+//
+// Truncated or corrupt files must be rejected with descriptive
+// errors; the streaming merge must visit exactly the indexed number
+// of records on every accepted file.
+func FuzzTraceFileRoundTrip(f *testing.F) {
+	// Seed with valid encodings of representative traces, plus
+	// truncations and mutations the decoder must reject.
+	seed := func(tr *Trace) []byte {
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	empty := seed(&Trace{Header: testHeader()})
+	multi := seed(&Trace{Header: testHeader(), Blocks: []Block{
+		{Node: 1, SendLocal: 100, RecvCollector: 150, Events: []Event{
+			{Time: 10, Type: EvOpen, File: 7, Job: 3, Node: 1, Flags: FlagRead},
+			{Time: 20, Type: EvRead, File: 7, Job: 3, Node: 1, Size: 1024},
+			{Time: 30, Type: EvReadStrided, File: 7, Job: 3, Node: 1, Size: 64, Stride: 256, Count: 8},
+		}},
+		{Node: 2, SendLocal: 130, RecvCollector: 170, Events: []Event{
+			{Time: 15, Type: EvWrite, File: 8, Job: 3, Node: 2, Offset: 4096, Size: 4096},
+		}},
+		{Node: 1, SendLocal: 300, RecvCollector: 340, Events: nil},
+	}})
+	f.Add(empty)
+	f.Add(multi)
+	f.Add(multi[:len(multi)-7])
+	f.Add(multi[:headerSize+blockHeaderSize-1])
+	f.Add([]byte("CHARISMA"))
+	f.Add([]byte("not a trace at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data), int64(len(data)))
+		legacy, legacyErr := Read(bytes.NewReader(data))
+
+		if err != nil {
+			// Structurally invalid: the legacy decoder must reject it
+			// too (it may fail on either framing or payload).
+			if legacyErr == nil {
+				t.Fatalf("NewReader rejected (%v) but Read accepted", err)
+			}
+			return
+		}
+
+		// Structurally valid. Walk the blocks; payload errors (bad
+		// event types) must match the legacy decoder's verdict.
+		var blocks []Block
+		walkErr := rd.Blocks(func(b Block) error {
+			cp := b
+			cp.Events = append([]Event(nil), b.Events...)
+			blocks = append(blocks, cp)
+			return nil
+		})
+		if (walkErr == nil) != (legacyErr == nil) {
+			t.Fatalf("decoders disagree: Blocks err=%v, Read err=%v", walkErr, legacyErr)
+		}
+		if walkErr != nil {
+			return
+		}
+
+		// Accepted: re-encoding must be the identity.
+		var out bytes.Buffer
+		w, err := NewWriter(&out, rd.Header())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			if err := w.WriteBlock(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("re-encoding changed the file: %d -> %d bytes", len(data), out.Len())
+		}
+		if len(blocks) != len(legacy.Blocks) {
+			t.Fatalf("decoders found %d vs %d blocks", len(blocks), len(legacy.Blocks))
+		}
+
+		// The merge must visit exactly the indexed record count, in
+		// non-panicking fashion, corrected and raw.
+		var n int64
+		if err := rd.Events(func(*Event) error { n++; return nil }); err != nil {
+			t.Fatalf("Events failed on accepted file: %v", err)
+		}
+		if n != rd.EventCount() {
+			t.Fatalf("merge visited %d of %d records", n, rd.EventCount())
+		}
+		n = 0
+		if err := rd.RawEvents(func(*Event) error { n++; return nil }); err != nil || n != rd.EventCount() {
+			t.Fatalf("raw merge visited %d of %d records (err=%v)", n, rd.EventCount(), err)
+		}
+
+		// Second direction: interpret the input as an arbitrary event
+		// sequence; it must survive encode -> decode unchanged.
+		var evs []Event
+		for i := 0; i+EventSize <= len(data) && len(evs) < 512; i += EventSize {
+			var e Event
+			if e.Decode(data[i:]) == nil {
+				evs = append(evs, e)
+			}
+		}
+		if len(evs) == 0 {
+			return
+		}
+		tr := &Trace{Header: testHeader()}
+		for i := 0; i < len(evs); i += 5 {
+			end := i + 5
+			if end > len(evs) {
+				end = len(evs)
+			}
+			tr.Blocks = append(tr.Blocks, Block{
+				Node: uint16(i), SendLocal: int64(i), RecvCollector: int64(i + 1),
+				Events: evs[i:end],
+			})
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		if len(got.Blocks) != len(tr.Blocks) {
+			t.Fatalf("round trip lost blocks: %d vs %d", len(got.Blocks), len(tr.Blocks))
+		}
+		for i := range tr.Blocks {
+			if len(got.Blocks[i].Events) != len(tr.Blocks[i].Events) {
+				t.Fatalf("block %d round trip lost events", i)
+			}
+			for j := range tr.Blocks[i].Events {
+				if got.Blocks[i].Events[j] != tr.Blocks[i].Events[j] {
+					t.Fatalf("block %d event %d changed in round trip", i, j)
+				}
+			}
+		}
+	})
+}

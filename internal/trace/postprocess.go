@@ -17,6 +17,45 @@ func (f ClockFit) Apply(local int64) int64 {
 // IdentityFit maps local time to itself.
 var IdentityFit = ClockFit{Offset: 0, Slope: 1}
 
+// clockAcc accumulates one node's (SendLocal, RecvCollector) block
+// timestamp pairs for the least-squares clock fit. It is shared by
+// FitClocks (materialized traces) and Reader.fitClocks (streaming over
+// the block index): both accumulate in block order with identical
+// float arithmetic, so the fits are bit-identical.
+type clockAcc struct {
+	n                        float64
+	sumX, sumY, sumXY, sumXX float64
+}
+
+func (a *clockAcc) add(sendLocal, recvCollector int64) {
+	x, y := float64(sendLocal), float64(recvCollector)
+	a.n++
+	a.sumX += x
+	a.sumY += y
+	a.sumXY += x * y
+	a.sumXX += x * x
+}
+
+func (a *clockAcc) fit() ClockFit {
+	meanX := a.sumX / a.n
+	meanY := a.sumY / a.n
+	varX := a.sumXX/a.n - meanX*meanX
+	cov := a.sumXY/a.n - meanX*meanY
+	fit := ClockFit{Slope: 1, Offset: meanY - meanX}
+	// Require a spread of send times before trusting the slope:
+	// a nearly-vertical cluster of points yields a wild line.
+	if a.n >= 2 && varX > 1e6 { // > 1 ms^2 spread
+		slope := cov / varX
+		// Clock drift on real hardware is parts-per-thousand at
+		// worst; reject degenerate fits from pathological traces.
+		if slope > 0.9 && slope < 1.1 {
+			fit.Slope = slope
+			fit.Offset = meanY - slope*meanX
+		}
+	}
+	return fit
+}
+
 // FitClocks estimates, for every node appearing in the trace, the
 // affine clock map from that node's local clock to the collector's
 // clock, using the double timestamps on each block (the node's
@@ -25,43 +64,18 @@ var IdentityFit = ClockFit{Offset: 0, Slope: 1}
 // least-squares line captures both offset and drift rate; with a
 // single block only the offset can be estimated.
 func FitClocks(t *Trace) map[uint16]ClockFit {
-	type acc struct {
-		n                        float64
-		sumX, sumY, sumXY, sumXX float64
-	}
-	accs := make(map[uint16]*acc)
+	accs := make(map[uint16]*clockAcc)
 	for _, b := range t.Blocks {
 		a := accs[b.Node]
 		if a == nil {
-			a = &acc{}
+			a = &clockAcc{}
 			accs[b.Node] = a
 		}
-		x, y := float64(b.SendLocal), float64(b.RecvCollector)
-		a.n++
-		a.sumX += x
-		a.sumY += y
-		a.sumXY += x * y
-		a.sumXX += x * x
+		a.add(b.SendLocal, b.RecvCollector)
 	}
 	fits := make(map[uint16]ClockFit, len(accs))
 	for node, a := range accs {
-		meanX := a.sumX / a.n
-		meanY := a.sumY / a.n
-		varX := a.sumXX/a.n - meanX*meanX
-		cov := a.sumXY/a.n - meanX*meanY
-		fit := ClockFit{Slope: 1, Offset: meanY - meanX}
-		// Require a spread of send times before trusting the slope:
-		// a nearly-vertical cluster of points yields a wild line.
-		if a.n >= 2 && varX > 1e6 { // > 1 ms^2 spread
-			slope := cov / varX
-			// Clock drift on real hardware is parts-per-thousand at
-			// worst; reject degenerate fits from pathological traces.
-			if slope > 0.9 && slope < 1.1 {
-				fit.Slope = slope
-				fit.Offset = meanY - slope*meanX
-			}
-		}
-		fits[node] = fit
+		fits[node] = a.fit()
 	}
 	return fits
 }

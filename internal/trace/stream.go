@@ -1,0 +1,469 @@
+// Streaming trace access. The CHARISMA instrumentation shipped event
+// blocks off the compute nodes precisely because whole traces did not
+// fit anywhere at once; Reader honors the same constraint on replay.
+// It indexes a .trc file's block headers up front (a few dozen bytes
+// per block, never the payloads) and then iterates with bounded
+// memory: Blocks decodes one block at a time, and Events runs the full
+// postprocessing pipeline -- per-node clock-drift correction and
+// chronological merging -- via a k-way merge over the per-node block
+// streams, holding one decoded block per node (briefly two, when a
+// timestamp tie straddles a block boundary; see mergeCursor).
+//
+// For every trace whose per-node clocks are monotone -- every trace
+// the collector produces -- Events yields exactly the stream
+// Postprocess returns (stream_test.go and the core equivalence test
+// pin this): the merge key is (corrected time, flatten index), each
+// block is internally sorted by that key, the cursor window opens
+// every block that could still hold the minimum key, and a k-way
+// merge under those invariants equals a global sort.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// BlockInfo locates one block inside an encoded trace: its byte
+// offset, the flatten index of its first event record (the global
+// record ordinal in file order, which is the batch postprocessor's
+// tie-break), and the block-header fields needed for clock fitting.
+type BlockInfo struct {
+	Offset        int64 // byte offset of the block header in the file
+	StartIdx      int64 // flatten index of the block's first record
+	SendLocal     int64
+	RecvCollector int64
+	Count         uint32
+	Node          uint16
+}
+
+// Reader provides bounded-memory access to an encoded trace. Obtain
+// one with NewReader, OpenReader, or Writer.Reader. A Reader is not
+// safe for concurrent use.
+type Reader struct {
+	r      io.ReaderAt
+	closer io.Closer
+	header Header
+	index  []BlockInfo
+	events int64
+}
+
+// NewReader indexes an encoded trace of the given total size. It
+// validates the framing -- magic, version, and that every block's
+// declared record count fits inside the file -- and returns a
+// descriptive error (never a panic) for truncated or corrupt input.
+// Event payloads are validated lazily as Blocks or Events decodes
+// them.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < headerSize {
+		return nil, fmt.Errorf("trace: file too short for a header: %d bytes", size)
+	}
+	var hbuf [headerSize]byte
+	if _, err := r.ReadAt(hbuf[:], 0); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	rd := &Reader{r: r}
+	if err := rd.header.decode(hbuf[:]); err != nil {
+		return nil, err
+	}
+	// Scan the block headers through a chunked window rather than one
+	// 22-byte pread per block: with 4 KB blocks a window this size
+	// covers ~60 headers per read, so indexing a large file costs
+	// tens of syscalls per megabyte, not thousands. Payloads that run
+	// past the window are skipped, not read.
+	win := make([]byte, 256*1024)
+	off := int64(headerSize)
+	for off < size {
+		if size-off < blockHeaderSize {
+			return nil, fmt.Errorf("trace: truncated block header at offset %d (%d trailing bytes)", off, size-off)
+		}
+		n := int64(len(win))
+		if n > size-off {
+			n = size - off
+		}
+		if _, err := r.ReadAt(win[:n], off); err != nil && !(err == io.EOF && off+n == size) {
+			return nil, fmt.Errorf("trace: reading block headers at offset %d: %w", off, err)
+		}
+		winStart := off
+		for off-winStart+blockHeaderSize <= n {
+			bbuf := win[off-winStart:]
+			info := BlockInfo{
+				Offset:        off,
+				StartIdx:      rd.events,
+				Node:          binary.LittleEndian.Uint16(bbuf[0:]),
+				Count:         binary.LittleEndian.Uint32(bbuf[2:]),
+				SendLocal:     int64(binary.LittleEndian.Uint64(bbuf[6:])),
+				RecvCollector: int64(binary.LittleEndian.Uint64(bbuf[14:])),
+			}
+			payload := int64(info.Count) * EventSize
+			if payload > size-off-blockHeaderSize {
+				return nil, fmt.Errorf("trace: block %d at offset %d declares %d records but only %d bytes remain",
+					len(rd.index), off, info.Count, size-off-blockHeaderSize)
+			}
+			rd.index = append(rd.index, info)
+			rd.events += int64(info.Count)
+			off += blockHeaderSize + payload
+			if off >= size {
+				break
+			}
+			if size-off < blockHeaderSize {
+				return nil, fmt.Errorf("trace: truncated block header at offset %d (%d trailing bytes)", off, size-off)
+			}
+		}
+	}
+	return rd, nil
+}
+
+// OpenReader opens and indexes a trace file. Close releases the file.
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	rd, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	rd.closer = f
+	return rd, nil
+}
+
+// Close releases the underlying file, when the Reader owns one.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// Header returns the trace header.
+func (r *Reader) Header() Header { return r.header }
+
+// EventCount returns the total number of event records in the trace.
+func (r *Reader) EventCount() int64 { return r.events }
+
+// NumBlocks returns the number of blocks in the trace.
+func (r *Reader) NumBlocks() int { return len(r.index) }
+
+// loadBlock reads and decodes block i, reusing raw and events as
+// backing storage when they are large enough.
+func (r *Reader) loadBlock(i int, raw []byte, events []Event) ([]byte, []Event, error) {
+	info := &r.index[i]
+	need := int(info.Count) * EventSize
+	if cap(raw) < need {
+		raw = make([]byte, need)
+	}
+	raw = raw[:need]
+	if need > 0 {
+		if _, err := r.r.ReadAt(raw, info.Offset+blockHeaderSize); err != nil {
+			return raw, events[:0], fmt.Errorf("trace: reading block %d payload: %w", i, err)
+		}
+	}
+	if cap(events) < int(info.Count) {
+		events = make([]Event, info.Count)
+	}
+	events = events[:info.Count]
+	for j := range events {
+		if err := events[j].Decode(raw[j*EventSize:]); err != nil {
+			return raw, events[:0], fmt.Errorf("trace: block %d record %d: %w", i, j, err)
+		}
+	}
+	return raw, events, nil
+}
+
+// Blocks calls fn with each block in file (arrival) order, decoding
+// one block at a time. The Block's Events slice is reused between
+// calls; fn must not retain it.
+func (r *Reader) Blocks(fn func(Block) error) error {
+	var raw []byte
+	var buf []Event
+	for i := range r.index {
+		var err error
+		raw, buf, err = r.loadBlock(i, raw, buf)
+		if err != nil {
+			return err
+		}
+		info := &r.index[i]
+		blk := Block{
+			Node:          info.Node,
+			SendLocal:     info.SendLocal,
+			RecvCollector: info.RecvCollector,
+			Events:        buf,
+		}
+		if err := fn(blk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fitClocks estimates the per-node clock maps from the block index,
+// accumulating the double timestamps in file order -- the same samples
+// in the same order as FitClocks over the materialized trace, so the
+// fits (and thus the corrected timestamps) are bit-identical.
+func (r *Reader) fitClocks() map[uint16]ClockFit {
+	accs := make(map[uint16]*clockAcc)
+	for i := range r.index {
+		b := &r.index[i]
+		a := accs[b.Node]
+		if a == nil {
+			a = &clockAcc{}
+			accs[b.Node] = a
+		}
+		a.add(b.SendLocal, b.RecvCollector)
+	}
+	fits := make(map[uint16]ClockFit, len(accs))
+	for node, a := range accs {
+		fits[node] = a.fit()
+	}
+	return fits
+}
+
+// openBlock is one decoded, not-yet-exhausted block inside a node
+// cursor's window.
+type openBlock struct {
+	buf  []Event // decoded events, drift-corrected
+	pos  int     // head event
+	base int64   // StartIdx of the block
+}
+
+// mergeCursor is one node's position in the streaming merge: the
+// node's block list (in recording order), a window of decoded blocks,
+// and the sort key of the head event.
+//
+// The window is the subtlety that makes the merge exact rather than
+// approximate. A node's blocks, taken in recording (SendLocal) order,
+// partition its event stream into consecutive time ranges that can
+// touch at the boundary instants: every event in block k satisfies
+// fit(send[k-1]) <= time <= fit(send[k]). When the head event's
+// timestamp reaches the last opened block's corrected send stamp, the
+// *next* block may hold events at that same instant whose flatten
+// index is smaller (a small residual block can overtake a full one on
+// the network and land earlier in the file), so the cursor opens it
+// and takes the minimum key across the window. In the steady state
+// the window is one block; at a boundary tie it is briefly two.
+type mergeCursor struct {
+	blocks []int32 // indices into Reader.index, in recording order
+	next   int     // next entry of blocks to open
+	window []openBlock
+	free   [][]Event // spare event buffers, reused across blocks
+	raw    []byte
+	fit    ClockFit
+	// Corrected send stamp of the most recently opened block: events
+	// of every unopened block are >= this.
+	lastSend int64
+
+	// Head sort key: (corrected time, flatten index), exactly the
+	// batch postprocessor's, plus which window entry holds it.
+	time int64
+	idx  int64
+	wi   int
+}
+
+func (c *mergeCursor) less(d *mergeCursor) bool {
+	if c.time != d.time {
+		return c.time < d.time
+	}
+	return c.idx < d.idx
+}
+
+// openNext decodes the node's next block into the window (skipping
+// empty blocks) and updates the unopened-blocks lower bound.
+func (r *Reader) openNext(c *mergeCursor) error {
+	i := int(c.blocks[c.next])
+	c.next++
+	c.lastSend = c.fit.Apply(r.index[i].SendLocal)
+	if r.index[i].Count == 0 {
+		return nil
+	}
+	var buf []Event
+	if n := len(c.free); n > 0 {
+		buf = c.free[n-1]
+		c.free = c.free[:n-1]
+	}
+	var err error
+	c.raw, buf, err = r.loadBlock(i, c.raw, buf)
+	if err != nil {
+		return err
+	}
+	for j := range buf {
+		buf[j].Time = c.fit.Apply(buf[j].Time)
+	}
+	c.window = append(c.window, openBlock{buf: buf, base: r.index[i].StartIdx})
+	return nil
+}
+
+// advance drops exhausted window blocks and re-establishes the
+// cursor's head: the minimum (time, index) key across the window,
+// after opening every further block that could still hold a smaller
+// key. It returns false at the end of the node's stream.
+func (r *Reader) advance(c *mergeCursor) (bool, error) {
+	for k := 0; k < len(c.window); {
+		if c.window[k].pos >= len(c.window[k].buf) {
+			c.free = append(c.free, c.window[k].buf[:0])
+			c.window = append(c.window[:k], c.window[k+1:]...)
+			continue
+		}
+		k++
+	}
+	for len(c.window) == 0 {
+		if c.next >= len(c.blocks) {
+			return false, nil
+		}
+		if err := r.openNext(c); err != nil {
+			return false, err
+		}
+	}
+	head := func() {
+		c.wi = -1
+		for k := range c.window {
+			w := &c.window[k]
+			t, idx := w.buf[w.pos].Time, w.base+int64(w.pos)
+			if c.wi < 0 || t < c.time || (t == c.time && idx < c.idx) {
+				c.wi, c.time, c.idx = k, t, idx
+			}
+		}
+	}
+	head()
+	// An unopened block's events are all >= the last opened block's
+	// corrected send stamp; open until that bound clears the head.
+	for c.next < len(c.blocks) && c.lastSend <= c.time {
+		if err := r.openNext(c); err != nil {
+			return false, err
+		}
+		head()
+	}
+	return true, nil
+}
+
+// Events streams the postprocessed trace: every record with its
+// timestamp mapped onto the collector timebase (the paper's clock
+// drift correction), merged into chronological order. For any trace
+// the collector produced, the stream is element-for-element identical
+// to Postprocess's, while decoding only one block per compute node at
+// a time -- beyond the block index, peak memory is O(node buffers),
+// not O(trace).
+//
+// fn receives a pointer into the merge's reused block storage; it must
+// not retain the pointer across calls. A non-nil error from fn aborts
+// the stream and is returned.
+func (r *Reader) Events(fn func(*Event) error) error {
+	return r.stream(fn, true)
+}
+
+// RawEvents is Events without the clock correction: records merge on
+// their raw local-clock timestamps, matching PostprocessRaw (the
+// drift-correction ablation).
+func (r *Reader) RawEvents(fn func(*Event) error) error {
+	return r.stream(fn, false)
+}
+
+func (r *Reader) stream(fn func(*Event) error, corrected bool) error {
+	// Group the blocks by node. Within a node, merge its blocks in
+	// recording order (by SendLocal) rather than file order: per-node
+	// blocks normally arrive in flush order, but a small residual
+	// block can overtake a full one on the simulated network, and
+	// recording order is what makes each node's event stream
+	// time-sorted (node clocks are monotone, so every record in a
+	// block is newer than the previous block's send stamp).
+	byNode := make(map[uint16]*mergeCursor)
+	var cursors []*mergeCursor
+	for i := range r.index {
+		n := r.index[i].Node
+		c := byNode[n]
+		if c == nil {
+			c = &mergeCursor{fit: IdentityFit}
+			byNode[n] = c
+			cursors = append(cursors, c)
+		}
+		c.blocks = append(c.blocks, int32(i))
+	}
+	if corrected {
+		for node, fit := range r.fitClocks() {
+			byNode[node].fit = fit
+		}
+	}
+	for _, c := range cursors {
+		blocks := c.blocks
+		sort.SliceStable(blocks, func(a, b int) bool {
+			return r.index[blocks[a]].SendLocal < r.index[blocks[b]].SendLocal
+		})
+	}
+
+	// Prime the heap with each node's first event.
+	heap := make([]*mergeCursor, 0, len(cursors))
+	for _, c := range cursors {
+		ok, err := r.advance(c)
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap = append(heap, c)
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(heap, i)
+	}
+
+	for len(heap) > 0 {
+		c := heap[0]
+		w := &c.window[c.wi]
+		if err := fn(&w.buf[w.pos]); err != nil {
+			return err
+		}
+		w.pos++
+		ok, err := r.advance(c)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			heap[0] = heap[len(heap)-1]
+			heap[len(heap)-1] = nil
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(heap, 0)
+	}
+	return nil
+}
+
+// siftDown restores the min-heap property at index i.
+func siftDown(h []*mergeCursor, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if rr := l + 1; rr < len(h) && h[rr].less(h[l]) {
+			m = rr
+		}
+		if !h[m].less(h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// AllEvents materializes the postprocessed stream into one slice: the
+// streaming equivalent of Read followed by Postprocess, allocating the
+// event slice but never the raw blocks.
+func (r *Reader) AllEvents() ([]Event, error) {
+	out := make([]Event, 0, r.events)
+	err := r.Events(func(ev *Event) error {
+		out = append(out, *ev)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
