@@ -74,13 +74,7 @@ func runFig8(w io.Writer, events []trace.Event, blockBytes int64) {
 }
 
 func runFig9(w io.Writer, events []trace.Event, blockBytes int64, ioNodes int) {
-	fmt.Fprintln(w, "Figure 9: I/O-node caching (4 KB buffers)")
-	fmt.Fprintf(w, "%10s  %10s  %10s\n", "buffers", "LRU", "FIFO")
-	for _, buffers := range core.DefaultFig9Buffers() {
-		lru := cachesim.IONodeCache(events, blockBytes, ioNodes, buffers, cachesim.LRU)
-		fifo := cachesim.IONodeCache(events, blockBytes, ioNodes, buffers, cachesim.FIFO)
-		fmt.Fprintf(w, "%10d  %9.1f%%  %9.1f%%\n", buffers, 100*lru.Rate(), 100*fifo.Rate())
-	}
+	fmt.Fprint(w, core.FormatFig9(events, blockBytes, ioNodes))
 	fmt.Fprintln(w, "\nSensitivity to the number of I/O nodes (LRU, 4000 buffers):")
 	fmt.Fprintf(w, "%10s  %10s\n", "I/O nodes", "hit rate")
 	for _, n := range []int{1, 2, 5, 10, 15, 20} {

@@ -8,10 +8,14 @@
 //	charisma [-scale 0.1] [-seed 42] [-fig N | -table N | -report] [-trace file]
 //	charisma -sweep [-seeds 1-32] [-scales 0.05,0.1] [-workers 0]
 //	charisma -scenario testdata/scenarios/fig8.json [-workers 0]
+//	charisma -sweep|-scenario ... -out runs/full [-shard 0/4] [-resume]
 //
 // With -fig or -table only that figure or table is printed; -report
-// (the default) prints everything. -trace additionally writes the raw
-// binary trace for later analysis with traceanal or cachesim.
+// (the default) prints everything. Figures 1-7 come straight from the
+// workload analysis; -fig 8 and -fig 9 run the paper's trace-driven
+// cache simulations on the study's own trace. -trace additionally
+// writes the raw binary trace for later analysis with traceanal or
+// cachesim.
 //
 // -sweep runs one study per (seed, scale) pair across a pool of
 // worker goroutines (one reusable simulation arena per worker; see
@@ -26,175 +30,359 @@
 // "replay" source, the same analysis and cache grid over recorded
 // .trc files instead of fresh simulations. -workers overrides the
 // spec's worker count; output is byte-identical either way.
+//
+// -out makes a sweep or scenario persistent and resumable: each
+// study's outcome is committed to the run directory as it completes,
+// keyed by a configuration fingerprint, and an interrupted run picks
+// up where it left off with -resume. -shard i/n executes only every
+// n-th pending study, so a big run can be split across processes or
+// machines sharing the directory; whichever invocation finds the run
+// complete prints the merged report, byte-identical to a
+// single-process run. See the README's "Sharded runs" section.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
-	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/scenario"
 )
 
 func main() {
-	scale := flag.Float64("scale", 0.1, "study scale; 1.0 reproduces the full 156-hour study")
-	seed := flag.Uint64("seed", 42, "workload seed")
-	fig := flag.Int("fig", 0, "print only figure N (1-7)")
-	table := flag.Int("table", 0, "print only table N (1-3)")
-	report := flag.Bool("report", false, "print the full report (default when no -fig/-table)")
-	traceOut := flag.String("trace", "", "also write the raw trace to this file")
-	sweep := flag.Bool("sweep", false, "run a parallel study sweep over -seeds x -scales")
-	scenarioPath := flag.String("scenario", "", "run the declarative scenario spec at this path")
-	seeds := flag.String("seeds", "", "sweep seeds: a range '1-32' or list '1,5,9' (default: -seed)")
-	scales := flag.String("scales", "", "sweep scales: comma-separated list (default: -scale)")
-	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 = GOMAXPROCS")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")
-	flag.Parse()
+	// All error paths return through appMain so deferred cleanups --
+	// in particular pprof.StopCPUProfile -- always run; a bare
+	// os.Exit on error used to leave -cpuprofile files corrupt.
+	os.Exit(appMain(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+// appMain is the whole command, parameterized for tests: argv is
+// os.Args[1:], output goes to stdout/stderr, and the return value is
+// the process exit code.
+func appMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("charisma", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 0.1, "study scale; 1.0 reproduces the full 156-hour study")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	fig := fs.Int("fig", 0, "print only figure N (1-9; 8 and 9 run the cache simulations)")
+	table := fs.Int("table", 0, "print only table N (1-3)")
+	report := fs.Bool("report", false, "print the full report (default when no -fig/-table)")
+	traceOut := fs.String("trace", "", "also write the raw trace to this file")
+	sweep := fs.Bool("sweep", false, "run a parallel study sweep over -seeds x -scales")
+	scenarioPath := fs.String("scenario", "", "run the declarative scenario spec at this path")
+	seeds := fs.String("seeds", "", "sweep seeds: values and ranges, e.g. '3,1-5' (default: -seed)")
+	scales := fs.String("scales", "", "sweep scales: comma-separated list (default: -scale)")
+	workers := fs.Int("workers", 0, "sweep worker goroutines; 0 = GOMAXPROCS")
+	outDir := fs.String("out", "", "persist sweep/scenario outcomes to this run directory (resumable)")
+	shardSpec := fs.String("shard", "", "run only shard i of n pending studies, as 'i/n' (requires -out)")
+	resume := fs.Bool("resume", false, "allow reusing an existing run directory's outcomes")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	stop, err := startProfiles(*cpuProfile, *memProfile, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "charisma:", err)
+		return 1
+	}
+	// stop flushes and closes the profiles; it must run on every exit
+	// path, including errors, or the profile files are corrupt.
+	defer stop()
+
+	if err := run(appConfig{
+		scale: *scale, seed: *seed, fig: *fig, table: *table, report: *report,
+		traceOut: *traceOut, sweep: *sweep, scenarioPath: *scenarioPath,
+		seeds: *seeds, scales: *scales, workers: *workers,
+		outDir: *outDir, shardSpec: *shardSpec, resume: *resume,
+	}, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "charisma:", err)
+		return 1
+	}
+	return 0
+}
+
+// appConfig is the parsed flag set.
+type appConfig struct {
+	scale        float64
+	seed         uint64
+	fig, table   int
+	report       bool
+	traceOut     string
+	sweep        bool
+	scenarioPath string
+	seeds        string
+	scales       string
+	workers      int
+	outDir       string
+	shardSpec    string
+	resume       bool
+}
+
+// run dispatches to the selected mode. Every failure returns an
+// error; nothing below this point may exit the process.
+func run(cfg appConfig, stdout, stderr io.Writer) error {
+	// The -scale flag feeds every mode; reject garbage before any
+	// simulation starts. (NaN slips through ordered comparisons, so
+	// the explicit check matters.)
+	if math.IsNaN(cfg.scale) || math.IsInf(cfg.scale, 0) || cfg.scale <= 0 {
+		return fmt.Errorf("bad -scale %v (want a finite scale > 0)", cfg.scale)
+	}
+	store, useStore, err := parseStore(cfg.outDir, cfg.shardSpec, cfg.resume)
+	if err != nil {
+		return err
+	}
+	switch {
+	case cfg.scenarioPath != "":
+		return runScenario(stdout, stderr, cfg.scenarioPath, cfg.workers, store, useStore)
+	case cfg.sweep:
+		return runSweep(stdout, stderr, cfg, store, useStore)
+	case useStore:
+		return errors.New("-out/-shard/-resume apply only to -sweep and -scenario runs")
+	}
+	return runStudy(stdout, stderr, cfg)
+}
+
+// runStudy is the single-study mode: the paper's figures and tables,
+// plus the Figure 8/9 cache simulations on the study's own trace.
+func runStudy(stdout, stderr io.Writer, cfg appConfig) error {
+	res := core.RunStudy(core.DefaultConfig(cfg.seed, cfg.scale))
+
+	if cfg.traceOut != "" {
+		f, err := os.Create(cfg.traceOut)
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		if _, err := res.Trace.WriteTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "charisma: wrote %d events to %s\n", len(res.Events), cfg.traceOut)
+	}
+
+	out, err := selectSection(res, cfg.fig, cfg.table)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, out)
+	fmt.Fprintf(stdout, "\nInstrumentation (Section 3): %d records in %d messages (%.1f%% of one-per-record); %d disk ops\n",
+		res.TraceRecords, res.TraceMessages,
+		100*float64(res.TraceMessages)/float64(max64(res.TraceRecords, 1)),
+		res.DiskOps)
+	return nil
+}
+
+// startProfiles starts the CPU profile and returns the cleanup that
+// stops it and writes the heap profile. The cleanup never exits the
+// process: profile trouble on the way out is reported to stderr and
+// the already-chosen exit code stands.
+func startProfiles(cpuPath, memPath string, stderr io.Writer) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			f.Close()
+			return nil, err
 		}
-		defer func() {
-			pprof.StopCPUProfile()
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
+		cpuFile = f
 	}
-	defer func() {
-		if *memProfile == "" {
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(stderr, "charisma:", err)
+			}
+		}
+		if memPath == "" {
 			return
 		}
-		// Best-effort: never os.Exit here, or the CPU-profile defer
-		// registered above would be skipped and its file corrupted.
-		f, err := os.Create(*memProfile)
+		f, err := os.Create(memPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "charisma:", err)
+			fmt.Fprintln(stderr, "charisma:", err)
 			return
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "charisma:", err)
+			fmt.Fprintln(stderr, "charisma:", err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "charisma:", err)
+			fmt.Fprintln(stderr, "charisma:", err)
 		}
-	}()
+	}, nil
+}
 
-	if *scenarioPath != "" {
-		runScenario(*scenarioPath, *workers)
-		return
+// parseStore turns the -out/-shard/-resume flags into a store config.
+func parseStore(outDir, shardSpec string, resume bool) (core.StoreConfig, bool, error) {
+	if outDir == "" {
+		if shardSpec != "" {
+			return core.StoreConfig{}, false, errors.New("-shard requires -out")
+		}
+		if resume {
+			return core.StoreConfig{}, false, errors.New("-resume requires -out")
+		}
+		return core.StoreConfig{}, false, nil
 	}
-	if *sweep {
-		runSweep(*seeds, *scales, *seed, *scale, *workers)
-		return
+	shard, numShards, err := parseShard(shardSpec)
+	if err != nil {
+		return core.StoreConfig{}, false, err
 	}
-
-	res := core.RunStudy(core.DefaultConfig(*seed, *scale))
-
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		if _, err := res.Trace.WriteTo(f); err != nil {
-			fmt.Fprintln(os.Stderr, "charisma: writing trace:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "charisma: wrote %d events to %s\n", len(res.Events), *traceOut)
+	if core.HasManifest(outDir) && !resume {
+		return core.StoreConfig{}, false, fmt.Errorf("run directory %s already holds outcomes; pass -resume to continue it or use a fresh directory", outDir)
 	}
+	return core.StoreConfig{Dir: outDir, Shard: shard, NumShards: numShards}, true, nil
+}
 
-	out := selectSection(res.Report, *fig, *table, *report)
-	fmt.Print(out)
-	fmt.Printf("\nInstrumentation (Section 3): %d records in %d messages (%.1f%% of one-per-record); %d disk ops\n",
-		res.TraceRecords, res.TraceMessages,
-		100*float64(res.TraceMessages)/float64(max64(res.TraceRecords, 1)),
-		res.DiskOps)
+// parseShard understands "i/n" with 0 <= i < n; empty means the
+// whole run (shard 0 of 1).
+func parseShard(spec string) (shard, numShards int, err error) {
+	if spec == "" {
+		return 0, 1, nil
+	}
+	lo, hi, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q (want 'i/n', e.g. 0/4)", spec)
+	}
+	shard, err1 := strconv.Atoi(strings.TrimSpace(lo))
+	numShards, err2 := strconv.Atoi(strings.TrimSpace(hi))
+	if err1 != nil || err2 != nil || numShards < 1 || shard < 0 || shard >= numShards {
+		return 0, 0, fmt.Errorf("bad -shard %q (want 'i/n' with 0 <= i < n)", spec)
+	}
+	return shard, numShards, nil
 }
 
 // runScenario loads, validates, and runs a declarative scenario,
 // printing the deterministic report on stdout and timing on stderr.
-func runScenario(path string, workers int) {
+// With a store, only this shard's pending studies execute, and the
+// merged report prints once every study's outcome file exists.
+func runScenario(stdout, stderr io.Writer, path string, workers int, store core.StoreConfig, useStore bool) error {
 	spec, err := scenario.Load(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if workers != 0 {
 		spec.Workers = workers
 	}
-	res, err := core.RunScenario(context.Background(), spec)
-	if err != nil {
-		fatal(err)
+	if !useStore {
+		res, err := core.RunScenario(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Format())
+		fmt.Fprintf(stderr, "charisma: scenario %s: %d studies on %d workers in %v\n",
+			spec.Name, len(res.Sweep.Outcomes), res.Sweep.Workers, res.Sweep.Elapsed.Round(1e6))
+		return nil
 	}
-	fmt.Print(res.Format())
-	fmt.Fprintf(os.Stderr, "charisma: scenario %s: %d studies on %d workers in %v\n",
-		spec.Name, len(res.Sweep.Outcomes), res.Sweep.Workers, res.Sweep.Elapsed.Round(1e6))
+	run, err := core.RunScenarioStore(context.Background(), spec, store)
+	if err != nil {
+		return err
+	}
+	reportStoreRun(stderr, "scenario "+spec.Name, store, run.Run, len(run.Merge.Missing), len(run.Merge.Result.Outcomes))
+	if run.Result == nil {
+		return nil
+	}
+	fmt.Fprint(stdout, run.Result.Format())
+	return nil
 }
 
 // runSweep executes the multi-study mode and prints the aggregate
-// report (deterministic) on stdout and timing (not) on stderr.
-func runSweep(seedSpec, scaleSpec string, seed uint64, scale float64, workers int) {
-	seedList, err := parseSeeds(seedSpec, seed)
+// report (deterministic) on stdout and timing (not) on stderr. With
+// a store the same resumable-shard protocol as scenarios applies.
+func runSweep(stdout, stderr io.Writer, cfg appConfig, store core.StoreConfig, useStore bool) error {
+	seedList, err := parseSeeds(cfg.seeds, cfg.seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	scaleList, err := parseScales(scaleSpec, scale)
+	scaleList, err := parseScales(cfg.scales, cfg.scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	specs := core.CrossSpecs(seedList, scaleList, nil, nil)
-	res := core.RunSweep(context.Background(), core.SweepConfig{Specs: specs, Workers: workers})
-	if res.Err != nil {
-		fatal(res.Err)
+	sweepCfg := core.SweepConfig{Specs: specs, Workers: cfg.workers}
+	if !useStore {
+		res := core.RunSweep(context.Background(), sweepCfg)
+		if res.Err != nil {
+			return res.Err
+		}
+		fmt.Fprint(stdout, res.Format())
+		fmt.Fprintf(stderr, "charisma: %d studies on %d workers in %v (%.2f studies/s)\n",
+			len(res.Outcomes), res.Workers, res.Elapsed.Round(1e6),
+			float64(len(res.Outcomes))/res.Elapsed.Seconds())
+		return nil
 	}
-	fmt.Print(res.Format())
-	fmt.Fprintf(os.Stderr, "charisma: %d studies on %d workers in %v (%.2f studies/s)\n",
-		len(res.Outcomes), res.Workers, res.Elapsed.Round(1e6),
-		float64(len(res.Outcomes))/res.Elapsed.Seconds())
+	run, err := core.RunSweepStore(context.Background(), sweepCfg, store)
+	if err != nil {
+		return err
+	}
+	merge, err := core.MergeSweepStore(sweepCfg, store)
+	if err != nil {
+		return err
+	}
+	reportStoreRun(stderr, "sweep", store, run, len(merge.Missing), len(specs))
+	if len(merge.Missing) > 0 {
+		return nil
+	}
+	fmt.Fprint(stdout, merge.Result.Format())
+	return nil
 }
 
-// parseSeeds understands "a-b" ranges and comma lists; empty means
-// the single -seed value.
+// reportStoreRun prints one shard invocation's accounting to stderr:
+// what it ran, what was already committed, and whether the merged
+// report is ready.
+func reportStoreRun(stderr io.Writer, what string, store core.StoreConfig, run *core.StoreRun, missing, total int) {
+	n := store.NumShards
+	if n < 1 {
+		n = 1
+	}
+	fmt.Fprintf(stderr, "charisma: %s: shard %d/%d ran %d, skipped %d done, in %v; %d/%d outcomes committed\n",
+		what, store.Shard, n, len(run.Ran), len(run.Skipped), run.Elapsed.Round(1e6), total-missing, total)
+	if missing > 0 {
+		fmt.Fprintf(stderr, "charisma: %d studies still pending (other shards or a -resume rerun); merged report withheld\n", missing)
+	}
+}
+
+// parseSeeds understands comma-separated values and "a-b" ranges,
+// freely mixed ("3,1-5"); empty means the single -seed value.
 func parseSeeds(spec string, fallback uint64) ([]uint64, error) {
 	if spec == "" {
 		return []uint64{fallback}, nil
 	}
-	if lo, hi, ok := strings.Cut(spec, "-"); ok {
-		a, err1 := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
-		b, err2 := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
-		if err1 != nil || err2 != nil || b < a {
-			return nil, fmt.Errorf("charisma: bad seed range %q", spec)
-		}
-		if b-a >= 1<<20 {
-			return nil, fmt.Errorf("charisma: seed range %q too large", spec)
-		}
-		var out []uint64
-		for s := a; s <= b; s++ {
-			out = append(out, s)
-		}
-		return out, nil
-	}
+	const maxSeeds = 1 << 20
 	var out []uint64
 	for _, part := range strings.Split(spec, ",") {
-		s, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+			b, err2 := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+			if err1 != nil || err2 != nil || b < a {
+				return nil, fmt.Errorf("bad seed range %q in %q", part, spec)
+			}
+			if b-a >= maxSeeds || uint64(len(out))+(b-a) >= maxSeeds {
+				return nil, fmt.Errorf("seed range %q in %q too large", part, spec)
+			}
+			for s := a; s <= b; s++ {
+				out = append(out, s)
+			}
+			continue
+		}
+		s, err := strconv.ParseUint(part, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("charisma: bad seed %q in %q", part, spec)
+			return nil, fmt.Errorf("bad seed %q in %q", part, spec)
 		}
 		out = append(out, s)
 	}
@@ -202,7 +390,9 @@ func parseSeeds(spec string, fallback uint64) ([]uint64, error) {
 }
 
 // parseScales understands comma lists; empty means the single -scale
-// value.
+// value. Every scale must be finite and positive: NaN fails ordered
+// comparisons, so a plain `v <= 0` guard would wave it through to
+// the generator.
 func parseScales(spec string, fallback float64) ([]float64, error) {
 	if spec == "" {
 		return []float64{fallback}, nil
@@ -210,46 +400,48 @@ func parseScales(spec string, fallback float64) ([]float64, error) {
 	var out []float64
 	for _, part := range strings.Split(spec, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("charisma: bad scale %q in %q", part, spec)
+		if err != nil || v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("bad scale %q in %q (want a finite scale > 0)", part, spec)
 		}
 		out = append(out, v)
 	}
 	return out, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "charisma:", err)
-	os.Exit(1)
-}
-
-func selectSection(r *analysis.Report, fig, table int, full bool) string {
+// selectSection renders the requested slice of the study: figures
+// 1-7 and tables 1-3 from the analysis report, figures 8-9 from the
+// trace-driven cache simulations on the study's own event stream.
+func selectSection(res *core.Result, fig, table int) (string, error) {
+	r := res.Report
 	switch {
 	case fig == 1:
-		return r.FormatFig1()
+		return r.FormatFig1(), nil
 	case fig == 2:
-		return r.FormatFig2()
+		return r.FormatFig2(), nil
 	case fig == 3:
-		return r.FormatFig3()
+		return r.FormatFig3(), nil
 	case fig == 4:
-		return r.FormatFig4()
+		return r.FormatFig4(), nil
 	case fig == 5:
-		return r.FormatFig5()
+		return r.FormatFig5(), nil
 	case fig == 6:
-		return r.FormatFig6()
+		return r.FormatFig6(), nil
 	case fig == 7:
-		return r.FormatFig7()
+		return r.FormatFig7(), nil
+	case fig == 8:
+		return core.FormatFig8(core.RunFig8(res.Events, res.BlockBytes())), nil
+	case fig == 9:
+		return core.FormatFig9(res.Events, res.BlockBytes(), int(res.Header.IONodes)), nil
 	case table == 1:
-		return r.FormatTable1()
+		return r.FormatTable1(), nil
 	case table == 2:
-		return r.FormatTable2()
+		return r.FormatTable2(), nil
 	case table == 3:
-		return r.FormatTable3()
+		return r.FormatTable3(), nil
 	case fig != 0 || table != 0:
-		return fmt.Sprintf("charisma: no such figure/table (fig=%d table=%d)\n", fig, table)
+		return "", fmt.Errorf("no such figure/table (fig=%d table=%d; figures 1-9, tables 1-3)", fig, table)
 	default:
-		_ = full
-		return r.Format()
+		return r.Format(), nil
 	}
 }
 

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseSeeds covers the seed grammar: values, ranges, and the
+// two freely mixed ("3,1-5" was once rejected as one bad range).
+func TestParseSeeds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []uint64
+	}{
+		{"", []uint64{7}}, // fallback
+		{"5", []uint64{5}},
+		{"1,5,9", []uint64{1, 5, 9}},
+		{"1-4", []uint64{1, 2, 3, 4}},
+		{"3,1-5", []uint64{3, 1, 2, 3, 4, 5}},
+		{"1-2,9,4-5", []uint64{1, 2, 9, 4, 5}},
+		{" 2 , 4 - 6 ", []uint64{2, 4, 5, 6}},
+	}
+	for _, tc := range cases {
+		got, err := parseSeeds(tc.in, 7)
+		if err != nil {
+			t.Errorf("parseSeeds(%q): %v", tc.in, err)
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("parseSeeds(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+
+	// Errors must name the offending part, not the whole spec.
+	bad := []struct{ in, part string }{
+		{"3,x", `"x"`},
+		{"5-1", `"5-1"`},
+		{"1-2,7-3", `"7-3"`},
+		{"1,,2", `""`},
+		{"1-99999999999", `"1-99999999999"`},
+	}
+	for _, tc := range bad {
+		_, err := parseSeeds(tc.in, 7)
+		if err == nil {
+			t.Errorf("parseSeeds(%q) accepted", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.part) {
+			t.Errorf("parseSeeds(%q) error %q does not name the offending part %s", tc.in, err, tc.part)
+		}
+	}
+}
+
+// TestParseScales covers the scale list, including the non-finite
+// values that once slipped through the `v <= 0` guard.
+func TestParseScales(t *testing.T) {
+	got, err := parseScales("0.05, 0.1", 1)
+	if err != nil || len(got) != 2 || got[0] != 0.05 || got[1] != 0.1 {
+		t.Fatalf("parseScales list = %v, %v", got, err)
+	}
+	if got, err := parseScales("", 0.25); err != nil || len(got) != 1 || got[0] != 0.25 {
+		t.Fatalf("parseScales fallback = %v, %v", got, err)
+	}
+	for _, bad := range []string{"NaN", "nan", "Inf", "-Inf", "+Inf", "0", "-1", "x", "0.1,NaN"} {
+		if _, err := parseScales(bad, 1); err == nil {
+			t.Errorf("parseScales(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseShard covers the -shard grammar.
+func TestParseShard(t *testing.T) {
+	if s, n, err := parseShard(""); err != nil || s != 0 || n != 1 {
+		t.Fatalf("empty shard = %d/%d, %v", s, n, err)
+	}
+	if s, n, err := parseShard("2/4"); err != nil || s != 2 || n != 4 {
+		t.Fatalf("2/4 = %d/%d, %v", s, n, err)
+	}
+	for _, bad := range []string{"2", "4/2", "2/2", "-1/2", "a/b", "1/0"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Errorf("parseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// app runs appMain with captured output.
+func app(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = appMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestFig8And9 pins the -fig 8/-fig 9 wiring: both figures run the
+// cache simulations on the study's own trace instead of printing "no
+// such figure".
+func TestFig8And9(t *testing.T) {
+	code, out, stderr := app("-fig", "8", "-scale", "0.01")
+	if code != 0 {
+		t.Fatalf("-fig 8 exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "Figure 8: compute-node caching") {
+		t.Fatalf("-fig 8 output missing the figure:\n%s", out)
+	}
+	code, out, stderr = app("-fig", "9", "-scale", "0.01")
+	if code != 0 {
+		t.Fatalf("-fig 9 exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "Figure 9: I/O-node caching") || !strings.Contains(out, "FIFO") {
+		t.Fatalf("-fig 9 output missing the figure:\n%s", out)
+	}
+
+	// Out-of-range figures are an error exit now, not a stdout note.
+	code, _, stderr = app("-fig", "12", "-scale", "0.01")
+	if code == 0 || !strings.Contains(stderr, "no such figure") {
+		t.Fatalf("-fig 12: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestScaleFlagRejectsNonFinite: NaN passes both `v <= 0` and
+// `v < MinScale`, so it used to reach the workload generator.
+func TestScaleFlagRejectsNonFinite(t *testing.T) {
+	for _, bad := range []string{"NaN", "Inf", "-Inf", "-0.5", "0"} {
+		code, _, stderr := app("-scale", bad)
+		if code == 0 || !strings.Contains(stderr, "scale") {
+			t.Errorf("-scale %s: exit %d, stderr %q", bad, code, stderr)
+		}
+	}
+}
+
+// TestProfileFlushedOnError is the profile-corruption fix: an error
+// exit (here: a missing scenario file) must still stop and flush the
+// CPU profile, leaving a valid gzipped pprof file rather than a
+// truncated one.
+func TestProfileFlushedOnError(t *testing.T) {
+	prof := filepath.Join(t.TempDir(), "cpu.pprof")
+	code, _, stderr := app("-cpuprofile", prof, "-scenario", filepath.Join(t.TempDir(), "missing.json"))
+	if code != 1 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	data, err := os.ReadFile(prof)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("profile not a flushed gzip stream (%d bytes, magic % x)", len(data), data[:min(2, len(data))])
+	}
+}
+
+// TestSweepStoreCLI drives the sharded store through the real flags:
+// two shards into one -out directory merge to the same bytes as a
+// plain in-memory sweep, a non-resume rerun is refused, and store
+// flags without -out are rejected.
+func TestSweepStoreCLI(t *testing.T) {
+	args := []string{"-sweep", "-seeds", "1-2", "-scales", "0.01"}
+	code, single, stderr := app(args...)
+	if code != 0 {
+		t.Fatalf("plain sweep exit %d, stderr %q", code, stderr)
+	}
+
+	dir := t.TempDir()
+	code, out, stderr := app(append(args, "-out", dir, "-shard", "0/2")...)
+	if code != 0 {
+		t.Fatalf("shard 0 exit %d, stderr %q", code, stderr)
+	}
+	if out != "" {
+		t.Fatalf("half-done shard printed a merged report:\n%s", out)
+	}
+	code, out, stderr = app(append(args, "-out", dir, "-shard", "1/2", "-resume")...)
+	if code != 0 {
+		t.Fatalf("shard 1 exit %d, stderr %q", code, stderr)
+	}
+	if out != single {
+		t.Fatalf("sharded CLI merge differs from the in-memory sweep:\n%s\nvs\n%s", out, single)
+	}
+
+	if code, _, stderr = app(append(args, "-out", dir)...); code == 0 || !strings.Contains(stderr, "-resume") {
+		t.Fatalf("rerun without -resume: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, _ = app("-sweep", "-shard", "0/2"); code == 0 {
+		t.Fatal("-shard without -out accepted")
+	}
+	if code, _, _ = app("-shard", "0/2", "-out", t.TempDir()); code == 0 {
+		t.Fatal("store flags accepted outside -sweep/-scenario")
+	}
+}

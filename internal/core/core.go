@@ -24,6 +24,8 @@
 package core
 
 import (
+	"math"
+
 	"repro/internal/analysis"
 	"repro/internal/cachesim"
 	"repro/internal/machine"
@@ -57,9 +59,11 @@ const MinScale = 0.01
 
 // normalized returns the config with its scale clamped to MinScale.
 // It is the single clamping point: DefaultConfig, RunStudy, and the
-// sweep engine all apply it.
+// sweep engine all apply it. Non-finite scales clamp too: NaN fails
+// every ordered comparison (so the old `< MinScale` guard let it
+// through to the generator), and +Inf would ask for unbounded work.
 func (cfg Config) normalized() Config {
-	if cfg.Scale < MinScale {
+	if math.IsInf(cfg.Scale, 0) || !(cfg.Scale >= MinScale) {
 		cfg.Scale = MinScale
 	}
 	return cfg

@@ -233,6 +233,23 @@ func FormatFig8(results []Fig8Result) string {
 	return b.String()
 }
 
+// FormatFig9 renders the Figure 9 experiment exactly as the cachesim
+// command always has: the LRU and FIFO hit-rate curves over the
+// paper's buffer-count ladder at the trace's I/O-node count. Both
+// curves fan their buffer ladders across cores via Fig9Sweep.
+func FormatFig9(events []trace.Event, blockBytes int64, ioNodes int) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 9: I/O-node caching (4 KB buffers)")
+	fmt.Fprintf(&b, "%10s  %10s  %10s\n", "buffers", "LRU", "FIFO")
+	buffers := DefaultFig9Buffers()
+	lru := Fig9Sweep(events, blockBytes, ioNodes, cachesim.LRU, buffers)
+	fifo := Fig9Sweep(events, blockBytes, ioNodes, cachesim.FIFO, buffers)
+	for i, n := range buffers {
+		fmt.Fprintf(&b, "%10d  %9.1f%%  %9.1f%%\n", n, 100*lru[i].Rate(), 100*fifo[i].Rate())
+	}
+	return b.String()
+}
+
 // formatFig9Grid renders the I/O-node sweep as one table per I/O-node
 // count: rows are buffer counts, columns are policies.
 func formatFig9Grid(events []trace.Event, blockBytes int64, plan *scenario.ResolvedFig9) string {

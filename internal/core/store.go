@@ -1,0 +1,689 @@
+// The persistent run store: sharded, resumable sweep execution. A
+// full-scale multi-seed sweep is hours of work, and until now it was
+// one monolithic process that lost everything on interruption. The
+// store turns a sweep into a directory of per-study outcome files
+// keyed by a configuration fingerprint (the run-manifest shape
+// simulation harnesses converge on): any number of processes, started
+// and restarted at any time, each execute a deterministic slice of
+// the not-yet-done studies and persist each outcome as it completes.
+// A merge pass then loads every outcome file and reconstructs a
+// SweepResult whose Format output is byte-identical to a
+// single-process RunSweep -- the worker-count-invariance discipline
+// of PRs 2-4, extended across processes and restarts
+// (TestSweepStoreShardResumeIdentical pins it).
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// storeVersion is the run-store layout version. It salts every
+// fingerprint, so a layout or simulator-output change makes old
+// outcome files unreachable (and the manifest check reports the
+// mismatch) instead of silently merging stale results.
+const storeVersion = 1
+
+// storeSalt is the code-version salt folded into every fingerprint.
+// Bump it whenever any simulator, analysis, or formatting change
+// alters study output for an unchanged StudySpec.
+const storeSalt = "charisma-store-v1"
+
+// StoreConfig selects the run directory and this process's shard of
+// the work.
+type StoreConfig struct {
+	// Dir is the run directory; it is created if absent. One directory
+	// holds one sweep (the manifest pins the spec list).
+	Dir string
+	// Shard / NumShards partition the spec list round-robin by spec
+	// index: this process executes spec i only when
+	// i % NumShards == Shard (among specs with no outcome file yet).
+	// NumShards <= 1 means unsharded; the partition is stable across
+	// restarts, so resuming a killed shard re-runs exactly its own
+	// unfinished specs.
+	Shard     int
+	NumShards int
+	// SpillTraces additionally writes each study's trace to
+	// <fingerprint>.trc through the streaming pipeline (the study then
+	// runs with bounded trace memory, see RunStudyStreaming). It is
+	// incompatible with KeepEvents/KeepReports/PostStudy, which need
+	// the in-memory event stream.
+	SpillTraces bool
+	// Salt is an optional caller salt folded into every fingerprint on
+	// top of the built-in code-version salt.
+	Salt string
+	// AuxText, when non-nil, is called after spec i completes and its
+	// return value is persisted with the outcome and restored by the
+	// merge (the scenario engine stores its per-study cache-experiment
+	// text this way).
+	AuxText func(i int) string
+}
+
+// normalized returns the store config with the shard fields clamped
+// to the unsharded defaults, or an error for a nonsensical shape.
+func (sc StoreConfig) normalized() (StoreConfig, error) {
+	if sc.Dir == "" {
+		return sc, errors.New("core: store: empty run directory")
+	}
+	if sc.NumShards <= 0 {
+		sc.NumShards = 1
+	}
+	if sc.Shard < 0 || sc.Shard >= sc.NumShards {
+		return sc, fmt.Errorf("core: store: shard %d out of range [0, %d)", sc.Shard, sc.NumShards)
+	}
+	return sc, nil
+}
+
+// fingerprintDoc is the canonical form a spec fingerprint hashes:
+// every field that determines a study's output, plus the
+// code-version salt. Workload and Machine are the full override
+// parameter structs (nil for the calibrated defaults), so any
+// configuration difference -- not just the label -- changes the
+// fingerprint.
+type fingerprintDoc struct {
+	Salt     string
+	Label    string
+	Seed     uint64
+	Scale    float64
+	Workload *workload.Params
+	Machine  *machine.Config
+	// Replay identifies a replay study's input (which has no
+	// simulation config at all): the trace path plus the file's size
+	// and mtime, so regenerating a trace in place moves the key
+	// instead of silently reusing the old outcome.
+	Replay      string
+	ReplaySize  int64
+	ReplayMtime int64
+}
+
+// fingerprint hashes the doc to the outcome-file key. The rendering
+// is fmt-based rather than JSON: the override structs are plain
+// value types all the way down, and fmt never fails on the
+// non-finite floats a hand-built config can carry (json.Marshal
+// would). Strings that a caller controls are %q-escaped so a crafted
+// label cannot collide with a different field split.
+func (d fingerprintDoc) fingerprint() string {
+	salt := storeSalt
+	if d.Salt != "" {
+		salt = storeSalt + "+" + d.Salt
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d|salt=%q|label=%q|seed=%d|scale=%g", storeVersion, salt, d.Label, d.Seed, d.Scale)
+	if d.Workload != nil {
+		fmt.Fprintf(&b, "|wl=%+v", *d.Workload)
+	}
+	if d.Machine != nil {
+		fmt.Fprintf(&b, "|mc=%+v", *d.Machine)
+	}
+	if d.Replay != "" {
+		fmt.Fprintf(&b, "|replay=%q|size=%d|mtime=%d", d.Replay, d.ReplaySize, d.ReplayMtime)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// SpecFingerprint returns the run-store key of one study spec under
+// the given extra salt ("" for none). The key covers the label, the
+// full normalized configuration, and the store's code-version salt.
+func SpecFingerprint(salt string, spec StudySpec) string {
+	cfg := spec.Config.normalized()
+	return fingerprintDoc{
+		Salt:     salt,
+		Label:    spec.Label,
+		Seed:     cfg.Seed,
+		Scale:    cfg.Scale,
+		Workload: cfg.Workload,
+		Machine:  cfg.Machine,
+	}.fingerprint()
+}
+
+// replayFingerprint keys a replay study by its input trace: the
+// path plus the file's current size and mtime, so a trace
+// regenerated in place invalidates the stored outcome (surfaced as
+// a manifest mismatch) rather than being silently skipped.
+func replayFingerprint(salt, label, path string) (string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", fmt.Errorf("core: store: fingerprinting replay trace: %w", err)
+	}
+	return fingerprintDoc{
+		Salt:        salt,
+		Label:       label,
+		Replay:      path,
+		ReplaySize:  fi.Size(),
+		ReplayMtime: fi.ModTime().UnixNano(),
+	}.fingerprint(), nil
+}
+
+// storedOutcome is the JSON schema of one outcome file. Writing it is
+// the commit point of a study: a spec is "done" exactly when its
+// outcome file exists and parses.
+type storedOutcome struct {
+	StoreVersion  int
+	Fingerprint   string
+	Label         string
+	ReportText    string
+	AuxText       string `json:",omitempty"`
+	Header        trace.Header
+	Horizon       int64
+	EventCount    int
+	TraceRecords  int64
+	TraceMessages int64
+	DiskOps       int64
+	// TraceFile names the sibling spilled trace ("<fp>.trc") when the
+	// run spilled traces.
+	TraceFile string `json:",omitempty"`
+}
+
+// outcomePath returns the outcome file for a fingerprint.
+func outcomePath(dir, fp string) string { return filepath.Join(dir, fp+".json") }
+
+// tracePath returns the spilled-trace file for a fingerprint.
+func tracePath(dir, fp string) string { return filepath.Join(dir, fp+".trc") }
+
+// writeFileAtomic writes data to path via a same-directory temp file
+// and rename, so a concurrently merging process never observes a
+// partial file. The temp name is unique per writer (os.CreateTemp),
+// so even two processes mistakenly running the same shard id publish
+// whole files -- last rename wins with identical deterministic
+// content -- rather than truncating each other's temp file.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp, 0o644)
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// storeManifest pins a run directory to one spec list: resuming with
+// a different sweep (or after a code-version salt bump) is an error
+// instead of a silent half-merge of two different runs.
+type storeManifest struct {
+	StoreVersion int
+	NumSpecs     int
+	Labels       []string
+	Fingerprints []string
+}
+
+// manifestPath is the manifest file inside a run directory.
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+
+// ensureManifest creates the run directory and its manifest, or
+// verifies the existing manifest matches this run's spec list.
+func ensureManifest(store StoreConfig, labels, fps []string) error {
+	if err := os.MkdirAll(store.Dir, 0o755); err != nil {
+		return fmt.Errorf("core: store: %w", err)
+	}
+	want := storeManifest{StoreVersion: storeVersion, NumSpecs: len(fps), Labels: labels, Fingerprints: fps}
+	data, err := json.MarshalIndent(&want, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: store: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	existing, err := os.ReadFile(manifestPath(store.Dir))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return writeFileAtomic(manifestPath(store.Dir), data)
+	case err != nil:
+		return fmt.Errorf("core: store: reading manifest: %w", err)
+	}
+	var got storeManifest
+	if err := json.Unmarshal(existing, &got); err != nil {
+		return fmt.Errorf("core: store: corrupt manifest in %s: %w", store.Dir, err)
+	}
+	if got.StoreVersion != want.StoreVersion || got.NumSpecs != want.NumSpecs ||
+		!equalStrings(got.Fingerprints, want.Fingerprints) {
+		return fmt.Errorf("core: store: %s holds a different run (manifest fingerprints differ); use a fresh directory", store.Dir)
+	}
+	return nil
+}
+
+// equalStrings reports element-wise equality.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StoreRun reports what one RunSweepStore (or scenario-store)
+// invocation did. Ran and Skipped are spec indices in ascending
+// order; specs belonging to other shards appear in neither.
+type StoreRun struct {
+	Ran     []int // executed and persisted by this invocation
+	Skipped []int // outcome file already existed (this shard's specs only)
+	Elapsed time.Duration
+	// Err records the context error when the run was cancelled; specs
+	// left unrun stay pending for the next resume.
+	Err error
+}
+
+// persistOutcome writes one completed outcome (and optionally its
+// spilled trace name) as the study's commit record.
+func persistOutcome(store StoreConfig, fp string, out *StudyOutcome, aux, traceFile string) error {
+	doc := storedOutcome{
+		StoreVersion:  storeVersion,
+		Fingerprint:   fp,
+		Label:         out.Spec.Label,
+		ReportText:    out.ReportText,
+		AuxText:       aux,
+		Header:        out.Header,
+		Horizon:       int64(out.Horizon),
+		EventCount:    out.EventCount,
+		TraceRecords:  out.TraceRecords,
+		TraceMessages: out.TraceMessages,
+		DiskOps:       out.DiskOps,
+		TraceFile:     traceFile,
+	}
+	data, err := json.Marshal(&doc)
+	if err != nil {
+		return fmt.Errorf("core: store: encoding outcome %s: %w", fp, err)
+	}
+	if err := writeFileAtomic(outcomePath(store.Dir, fp), data); err != nil {
+		return fmt.Errorf("core: store: persisting outcome %s: %w", fp, err)
+	}
+	return nil
+}
+
+// loadOutcome reads and validates one outcome file; os.ErrNotExist
+// passes through for pending specs.
+func loadOutcome(dir, fp string) (*storedOutcome, error) {
+	data, err := os.ReadFile(outcomePath(dir, fp))
+	if err != nil {
+		return nil, err
+	}
+	var doc storedOutcome
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("core: store: corrupt outcome %s: %w", outcomePath(dir, fp), err)
+	}
+	if doc.StoreVersion != storeVersion || doc.Fingerprint != fp {
+		return nil, fmt.Errorf("core: store: outcome %s does not match its key (version %d, fingerprint %s)",
+			outcomePath(dir, fp), doc.StoreVersion, doc.Fingerprint)
+	}
+	return &doc, nil
+}
+
+// runStore is the shard executor shared by the sweep and replay
+// paths: it filters the spec list down to this shard's pending slice
+// and runs exec for each, persisting outcomes as they complete. exec
+// returns the finished outcome plus its auxiliary text; traceFile
+// (pre-resolved per spec) is recorded in the outcome when non-empty.
+func runStore(ctx context.Context, workers int, store StoreConfig, labels, fps []string,
+	exec func(worker, specIdx int) (StudyOutcome, string, string, error)) (*StoreRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ensureManifest(store, labels, fps); err != nil {
+		return nil, err
+	}
+	run := &StoreRun{}
+	var mine []int
+	for i := range fps {
+		if i%store.NumShards != store.Shard {
+			continue
+		}
+		if _, err := os.Stat(outcomePath(store.Dir, fps[i])); err == nil {
+			run.Skipped = append(run.Skipped, i)
+			continue
+		}
+		mine = append(mine, i)
+	}
+	start := time.Now()
+	errs := make([]error, len(mine))
+	done := make([]bool, len(mine))
+	parallelEach(ctx, len(mine), workers, func(w, j int) {
+		i := mine[j]
+		out, aux, traceFile, err := exec(w, i)
+		if err == nil {
+			err = persistOutcome(store, fps[i], &out, aux, traceFile)
+		}
+		if err != nil {
+			errs[j] = err
+			return
+		}
+		done[j] = true
+	})
+	run.Elapsed = time.Since(start)
+	run.Err = ctx.Err()
+	for j, ok := range done {
+		if ok {
+			run.Ran = append(run.Ran, mine[j])
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return run, err
+		}
+	}
+	return run, nil
+}
+
+// RunSweepStore executes this shard's slice of cfg.Specs against the
+// run directory: specs whose outcome file already exists are skipped,
+// the rest are fanned across cfg.Workers goroutines (one reusable
+// Arena each, exactly like RunSweep), and every outcome is persisted
+// the moment it completes -- so a killed process loses at most its
+// in-flight studies, and resuming re-runs only what is missing.
+// Combine the shards' files with MergeSweepStore.
+func RunSweepStore(ctx context.Context, cfg SweepConfig, store StoreConfig) (*StoreRun, error) {
+	store, err := store.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.KeepEvents || cfg.KeepReports {
+		return nil, errors.New("core: store: KeepEvents/KeepReports are incompatible with a persistent store (outcome files hold text and counters only)")
+	}
+	if store.SpillTraces && cfg.PostStudy != nil {
+		return nil, errors.New("core: store: SpillTraces is incompatible with PostStudy (the streaming path materializes no event stream)")
+	}
+	labels, fps := specKeys(store.Salt, cfg.Specs)
+	arenas := make([]*Arena, workerCount(cfg.Workers, len(cfg.Specs)))
+	return runStore(ctx, cfg.Workers, store, labels, fps,
+		func(w, i int) (StudyOutcome, string, string, error) {
+			if store.SpillTraces {
+				out, err := spillSpec(cfg.Specs[i], store, fps[i])
+				return out, auxFor(store, i), fps[i] + ".trc", err
+			}
+			if arenas[w] == nil {
+				arenas[w] = NewArena()
+			}
+			out := runSpec(arenas[w], cfg, cfg.Specs[i], i)
+			return out, auxFor(store, i), "", nil
+		})
+}
+
+// auxFor evaluates the store's AuxText hook for spec i.
+func auxFor(store StoreConfig, i int) string {
+	if store.AuxText == nil {
+		return ""
+	}
+	return store.AuxText(i)
+}
+
+// specKeys fingerprints a spec list.
+func specKeys(salt string, specs []StudySpec) (labels, fps []string) {
+	labels = make([]string, len(specs))
+	fps = make([]string, len(specs))
+	for i, s := range specs {
+		labels[i] = s.Label
+		fps[i] = SpecFingerprint(salt, s)
+	}
+	return labels, fps
+}
+
+// workerCount resolves a Workers field the way parallelEach does.
+func workerCount(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// spillSpec runs one spec through the streaming study pipeline,
+// writing its trace to <fp>.trc (via a temp name, renamed before the
+// outcome commits). The outcome carries the same report text and
+// counters the batch path produces (TestSweepStoreSpillIdentical pins
+// the merged bytes against RunSweep).
+func spillSpec(spec StudySpec, store StoreConfig, fp string) (StudyOutcome, error) {
+	final := tracePath(store.Dir, fp)
+	f, err := os.CreateTemp(store.Dir, fp+".trc.tmp*")
+	if err != nil {
+		return StudyOutcome{}, fmt.Errorf("core: store: spilling trace: %w", err)
+	}
+	tmp := f.Name()
+	res, err := RunStudyStreaming(spec.Config, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return StudyOutcome{}, err
+	}
+	if err := os.Chmod(tmp, 0o644); err == nil {
+		err = os.Rename(tmp, final)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return StudyOutcome{}, fmt.Errorf("core: store: spilling trace: %w", err)
+	}
+	return StudyOutcome{
+		Spec:          spec,
+		Done:          true,
+		ReportText:    res.Report.Format(),
+		Header:        res.Header,
+		Horizon:       res.Horizon,
+		EventCount:    int(res.EventCount),
+		TraceRecords:  res.TraceRecords,
+		TraceMessages: res.TraceMessages,
+		DiskOps:       res.DiskOps,
+	}, nil
+}
+
+// SweepMerge is the reconstruction of a (possibly still running)
+// stored sweep.
+type SweepMerge struct {
+	// Result holds one outcome per spec, loaded from the run
+	// directory; specs with no outcome file yet have Done == false.
+	// When Missing is empty, Result.Format() is byte-identical to a
+	// single-process RunSweep over the same specs.
+	Result *SweepResult
+	// Aux holds the restored per-spec auxiliary texts.
+	Aux []string
+	// Missing lists spec indices whose outcome file does not exist
+	// yet (still pending, or owned by a shard that has not run).
+	Missing []int
+}
+
+// MergeSweepStore loads every spec's outcome file from the run
+// directory and reconstructs the merged sweep. It never executes
+// anything, so it is safe to call concurrently with running shards:
+// a spec is either committed (its file parses) or missing.
+func MergeSweepStore(cfg SweepConfig, store StoreConfig) (*SweepMerge, error) {
+	store, err := store.normalized()
+	if err != nil {
+		return nil, err
+	}
+	_, fps := specKeys(store.Salt, cfg.Specs)
+	return mergeStore(store, cfg.Specs, fps)
+}
+
+// mergeStore loads outcomes for an already-fingerprinted spec list.
+func mergeStore(store StoreConfig, specs []StudySpec, fps []string) (*SweepMerge, error) {
+	m := &SweepMerge{
+		Result: &SweepResult{Outcomes: make([]StudyOutcome, len(specs))},
+		Aux:    make([]string, len(specs)),
+	}
+	for i := range specs {
+		m.Result.Outcomes[i].Spec = specs[i]
+		doc, err := loadOutcome(store.Dir, fps[i])
+		if errors.Is(err, os.ErrNotExist) {
+			m.Missing = append(m.Missing, i)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.Result.Outcomes[i] = StudyOutcome{
+			Spec:          specs[i],
+			Done:          true,
+			ReportText:    doc.ReportText,
+			Header:        doc.Header,
+			Horizon:       sim.Time(doc.Horizon),
+			EventCount:    doc.EventCount,
+			TraceRecords:  doc.TraceRecords,
+			TraceMessages: doc.TraceMessages,
+			DiskOps:       doc.DiskOps,
+		}
+		m.Aux[i] = doc.AuxText
+	}
+	return m, nil
+}
+
+// ScenarioStoreRun is one sharded scenario invocation's outcome.
+type ScenarioStoreRun struct {
+	Run   *StoreRun
+	Merge *SweepMerge
+	// Result is the fully merged scenario, non-nil only when every
+	// study's outcome file exists (Merge.Missing is empty). Its
+	// Format() is then byte-identical to a single-process
+	// RunScenario.
+	Result *ScenarioResult
+}
+
+// RunScenarioStore lowers a scenario onto the persistent store: the
+// same study list and cache experiments as RunScenario, but each
+// study's report and cache-experiment text are persisted as they
+// complete, this process executes only its shard's pending slice,
+// and the merged result is reconstructed from the run directory.
+// Replay scenarios shard over their trace files the same way.
+func RunScenarioStore(ctx context.Context, spec *scenario.Spec, store StoreConfig) (*ScenarioStoreRun, error) {
+	if spec == nil {
+		return nil, errors.New("core: nil scenario spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	store, err := store.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if store.AuxText != nil {
+		return nil, errors.New("core: store: AuxText is owned by the scenario lowering")
+	}
+	plan := spec.CachePlan()
+	// The cache plan shapes each study's persisted text but is not
+	// part of the StudySpec, so fold it into the fingerprint salt:
+	// editing a spec's cache grid between runs then surfaces as a
+	// manifest mismatch instead of silently merging the old
+	// experiments' text.
+	store.Salt = cachePlanSalt(store.Salt, plan)
+
+	var specs []StudySpec
+	var run *StoreRun
+	var fps []string
+	if spec.IsReplay() {
+		paths := spec.ReplayTraces()
+		specs = make([]StudySpec, len(paths))
+		labels := make([]string, len(paths))
+		fps = make([]string, len(paths))
+		for i, path := range paths {
+			specs[i] = StudySpec{Label: replayLabel(path)}
+			labels[i] = specs[i].Label
+			fps[i], err = replayFingerprint(store.Salt, labels[i], path)
+			if err != nil {
+				return nil, err
+			}
+		}
+		run, err = runStore(ctx, spec.Workers, store, labels, fps,
+			func(_, i int) (StudyOutcome, string, string, error) {
+				out, text, err := replayStudy(paths[i], plan)
+				if err != nil {
+					return out, "", "", fmt.Errorf("core: replay %s: %w", labels[i], err)
+				}
+				out.Spec = specs[i]
+				return out, text, "", nil
+			})
+	} else {
+		specs = ScenarioSpecs(spec)
+		// The cache experiments run on the worker right after each
+		// study, exactly as in RunScenario; the store persists their
+		// text with the outcome so a resumed or merging process never
+		// re-simulates a finished study to recover it.
+		texts := make([]string, len(specs))
+		sweepCfg := SweepConfig{Specs: specs, Workers: spec.Workers}
+		if plan != nil {
+			sweepCfg.PostStudy = func(i int, r *Result) {
+				texts[i] = cacheExperimentText(plan, r.Events, r.BlockBytes())
+			}
+		}
+		store.AuxText = func(i int) string { return texts[i] }
+		_, fps = specKeys(store.Salt, specs)
+		run, err = RunSweepStore(ctx, sweepCfg, store)
+	}
+	if err != nil {
+		return &ScenarioStoreRun{Run: run}, err
+	}
+	merge, err := mergeStore(store, specs, fps)
+	if err != nil {
+		return &ScenarioStoreRun{Run: run}, err
+	}
+	out := &ScenarioStoreRun{Run: run, Merge: merge}
+	if len(merge.Missing) == 0 {
+		out.Result = &ScenarioResult{Spec: spec, Sweep: merge.Result, CacheTexts: merge.Aux}
+	}
+	return out, nil
+}
+
+// cachePlanSalt renders a scenario's resolved cache plan into the
+// fingerprint salt. The nested pointers are rendered by value (a
+// plain %+v would print their addresses).
+func cachePlanSalt(salt string, plan *scenario.ResolvedCache) string {
+	var b strings.Builder
+	if salt != "" {
+		b.WriteString(salt)
+		b.WriteString("+")
+	}
+	b.WriteString("plan:")
+	if plan == nil {
+		b.WriteString("none")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "fig8=%v", plan.Fig8Buffers)
+	if plan.Fig9 != nil {
+		fmt.Fprintf(&b, "|fig9=%+v", *plan.Fig9)
+	}
+	if plan.Combined != nil {
+		fmt.Fprintf(&b, "|combined=%+v", *plan.Combined)
+	}
+	return b.String()
+}
+
+// HasManifest reports whether dir already holds a run (the CLI's
+// -resume guard: starting a non-resume run in a populated directory
+// is refused there).
+func HasManifest(dir string) bool {
+	_, err := os.Stat(manifestPath(dir))
+	return err == nil
+}

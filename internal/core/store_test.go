@@ -1,0 +1,406 @@
+package core
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// storeOutcomeMtimes stats every committed outcome file in dir,
+// keyed by file name.
+func storeOutcomeMtimes(t *testing.T, dir string) map[string]time.Time {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]time.Time)
+	for _, p := range paths {
+		if filepath.Base(p) == "manifest.json" {
+			continue
+		}
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = fi.ModTime()
+	}
+	return out
+}
+
+// TestSweepStoreShardResumeIdentical is the store's acceptance pin:
+// a sweep run as two shards -- one of them killed mid-run and then
+// resumed -- merges to output byte-identical to a single-process
+// RunSweep, and the resume re-executes only the missing specs (the
+// completed outcome files' mtimes stay untouched).
+func TestSweepStoreShardResumeIdentical(t *testing.T) {
+	specs := sweepSpecs(6)
+	single := RunSweep(context.Background(), SweepConfig{Specs: specs, Workers: 1})
+
+	dir := t.TempDir()
+	// Shard 0 runs its whole slice (specs 0, 2, 4).
+	run0, err := RunSweepStore(context.Background(),
+		SweepConfig{Specs: specs, Workers: 2},
+		StoreConfig{Dir: dir, Shard: 0, NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(run0.Ran), 3; got != want {
+		t.Fatalf("shard 0 ran %d specs %v, want %d", got, run0.Ran, want)
+	}
+
+	// Shard 1 is "killed" after its first study commits: the context
+	// is cancelled from the per-study hook, so the worker stops
+	// between studies exactly as a SIGKILL between commits would.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	run1, err := RunSweepStore(ctx,
+		SweepConfig{
+			Specs:     specs,
+			Workers:   1,
+			PostStudy: func(i int, r *Result) { cancel() },
+		},
+		StoreConfig{Dir: dir, Shard: 1, NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1.Err == nil {
+		t.Fatal("killed shard reported no context error")
+	}
+	if got, want := len(run1.Ran), 1; got != want {
+		t.Fatalf("killed shard committed %d specs %v, want %d", got, run1.Ran, want)
+	}
+
+	// The merge must report exactly the two uncommitted specs.
+	merge, err := MergeSweepStore(SweepConfig{Specs: specs}, StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(merge.Missing), 2; got != want {
+		t.Fatalf("%d specs missing %v, want %d", got, merge.Missing, want)
+	}
+
+	// Resume shard 1. Completed specs must not re-execute: their
+	// outcome files' mtimes are pinned across the resume.
+	before := storeOutcomeMtimes(t, dir)
+	resumed, err := RunSweepStore(context.Background(),
+		SweepConfig{Specs: specs, Workers: 2},
+		StoreConfig{Dir: dir, Shard: 1, NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(resumed.Ran), 2; got != want {
+		t.Fatalf("resume ran %d specs %v, want %d", got, resumed.Ran, want)
+	}
+	if got, want := len(resumed.Skipped), 1; got != want {
+		t.Fatalf("resume skipped %d specs %v, want %d", got, resumed.Skipped, want)
+	}
+	after := storeOutcomeMtimes(t, dir)
+	for name, mt := range before {
+		if !after[name].Equal(mt) {
+			t.Fatalf("outcome %s was rewritten on resume (mtime %v -> %v)", name, mt, after[name])
+		}
+	}
+
+	merge, err = MergeSweepStore(SweepConfig{Specs: specs}, StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merge.Missing) != 0 {
+		t.Fatalf("specs still missing after resume: %v", merge.Missing)
+	}
+	if got, want := merge.Result.Format(), single.Format(); got != want {
+		t.Fatalf("sharded+resumed merge differs from single-process RunSweep (first diff near byte %d):\n%s", firstDiff(got, want), got)
+	}
+}
+
+// TestSweepStoreSpillIdentical: the streaming-spill path commits the
+// same report text and counters as the batch path, and every
+// <fingerprint>.trc is a readable trace whose event count matches
+// its outcome.
+func TestSweepStoreSpillIdentical(t *testing.T) {
+	specs := sweepSpecs(2)
+	single := RunSweep(context.Background(), SweepConfig{Specs: specs, Workers: 1})
+
+	dir := t.TempDir()
+	store := StoreConfig{Dir: dir, SpillTraces: true}
+	if _, err := RunSweepStore(context.Background(), SweepConfig{Specs: specs}, store); err != nil {
+		t.Fatal(err)
+	}
+	merge, err := MergeSweepStore(SweepConfig{Specs: specs}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merge.Missing) != 0 {
+		t.Fatalf("missing specs: %v", merge.Missing)
+	}
+	if got, want := merge.Result.Format(), single.Format(); got != want {
+		t.Fatalf("spilled merge differs from batch RunSweep (first diff near byte %d)", firstDiff(got, want))
+	}
+	for i, spec := range specs {
+		fp := SpecFingerprint("", spec)
+		rd, err := trace.OpenReader(filepath.Join(dir, fp+".trc"))
+		if err != nil {
+			t.Fatalf("spec %d spilled trace unreadable: %v", i, err)
+		}
+		if got, want := int(rd.EventCount()), merge.Result.Outcomes[i].EventCount; got != want {
+			t.Errorf("spec %d: trace holds %d events, outcome says %d", i, got, want)
+		}
+		if got, want := rd.Header().Seed, spec.Config.Seed; got != want {
+			t.Errorf("spec %d: trace seed %d, want %d", i, got, want)
+		}
+		rd.Close()
+	}
+}
+
+// TestScenarioStoreShardedIdentical: a simulation scenario lowered
+// onto the store and run as two shards reconstructs a result -- sweep
+// table and per-study cache experiments -- byte-identical to a
+// single-process RunScenario.
+func TestScenarioStoreShardedIdentical(t *testing.T) {
+	parse := func() *scenario.Spec {
+		spec, err := scenario.Parse([]byte(`{
+			"version": 1, "name": "store-sharded",
+			"seeds": [1, 2], "scales": [0.01],
+			"cache": {"fig8": {"buffers": [1, 10]}}
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	baseline, err := RunScenario(context.Background(), parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	for shard := 0; shard < 2; shard++ {
+		run, err := RunScenarioStore(context.Background(), parse(),
+			StoreConfig{Dir: dir, Shard: shard, NumShards: 2})
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		if got, want := len(run.Run.Ran), 1; got != want {
+			t.Fatalf("shard %d ran %d studies, want %d", shard, got, want)
+		}
+		if shard == 0 && run.Result != nil {
+			t.Fatal("half-run scenario produced a merged result")
+		}
+		if shard == 1 {
+			if run.Result == nil {
+				t.Fatalf("complete scenario produced no merged result (missing %v)", run.Merge.Missing)
+			}
+			if got, want := run.Result.Format(), baseline.Format(); got != want {
+				t.Fatalf("sharded scenario differs from RunScenario (first diff near byte %d)", firstDiff(got, want))
+			}
+		}
+	}
+}
+
+// TestScenarioStoreReplay: replay scenarios shard over their trace
+// files through the same store, merging byte-identical to the
+// in-memory replay path.
+func TestScenarioStoreReplay(t *testing.T) {
+	path := filepath.Join(corpusDir, "replay-smoke.json")
+	spec, err := scenario.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := RunScenario(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec2, err := scenario.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunScenarioStore(context.Background(), spec2, StoreConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result == nil {
+		t.Fatalf("replay store run incomplete: missing %v", run.Merge.Missing)
+	}
+	if got, want := run.Result.Format(), baseline.Format(); got != want {
+		t.Fatalf("stored replay scenario differs from RunScenario (first diff near byte %d)", firstDiff(got, want))
+	}
+}
+
+// TestScenarioStoreCachePlanPinned: the cache plan shapes each
+// study's persisted text but lives outside the StudySpec, so it is
+// folded into the fingerprint salt -- resuming a run directory with
+// an edited cache grid must fail the manifest check instead of
+// silently merging the old experiments' text.
+func TestScenarioStoreCachePlanPinned(t *testing.T) {
+	parse := func(buffers string) *scenario.Spec {
+		spec, err := scenario.Parse([]byte(`{
+			"version": 1, "name": "plan-pinned", "scales": [0.01],
+			"cache": {"fig8": {"buffers": ` + buffers + `}}
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	dir := t.TempDir()
+	if _, err := RunScenarioStore(context.Background(), parse("[1]"), StoreConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunScenarioStore(context.Background(), parse("[1, 10]"), StoreConfig{Dir: dir}); err == nil {
+		t.Fatal("store accepted a resumed scenario with a different cache plan")
+	}
+}
+
+// TestReplayStoreTraceRegenerationPinned: replay fingerprints cover
+// the trace file's size and mtime, so regenerating a trace in place
+// invalidates the stored run (a manifest mismatch) rather than
+// silently reusing the outcome of the old bytes.
+func TestReplayStoreTraceRegenerationPinned(t *testing.T) {
+	dir := t.TempDir()
+	trc := filepath.Join(dir, "in.trc")
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "traces", "smoke.trc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(trc, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	parse := func() *scenario.Spec {
+		spec, err := scenario.Parse([]byte(`{
+			"version": 1, "name": "regen", "replay": {"traces": ["` + trc + `"]}
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	runDir := t.TempDir()
+	if _, err := RunScenarioStore(context.Background(), parse(), StoreConfig{Dir: runDir}); err != nil {
+		t.Fatal(err)
+	}
+	// "Regenerate" the trace: same path, different mtime.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(trc, past, past); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunScenarioStore(context.Background(), parse(), StoreConfig{Dir: runDir}); err == nil {
+		t.Fatal("store reused outcomes for a regenerated trace file")
+	}
+}
+
+// TestStoreManifestPinsRun: a run directory refuses a different spec
+// list, so two sweeps can never interleave their outcome files.
+func TestStoreManifestPinsRun(t *testing.T) {
+	dir := t.TempDir()
+	store := StoreConfig{Dir: dir}
+	if _, err := RunSweepStore(context.Background(), SweepConfig{Specs: sweepSpecs(2)}, store); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSweepStore(context.Background(), SweepConfig{Specs: sweepSpecs(3)}, store); err == nil {
+		t.Fatal("store accepted a different sweep into the same directory")
+	}
+	if !HasManifest(dir) {
+		t.Fatal("HasManifest is false for a populated run directory")
+	}
+	if HasManifest(t.TempDir()) {
+		t.Fatal("HasManifest is true for an empty directory")
+	}
+}
+
+// TestStoreConfigValidation covers the store's rejected shapes.
+func TestStoreConfigValidation(t *testing.T) {
+	specs := sweepSpecs(2)
+	ctx := context.Background()
+	cases := []struct {
+		name  string
+		cfg   SweepConfig
+		store StoreConfig
+	}{
+		{"empty dir", SweepConfig{Specs: specs}, StoreConfig{}},
+		{"bad shard", SweepConfig{Specs: specs}, StoreConfig{Dir: t.TempDir(), Shard: 2, NumShards: 2}},
+		{"negative shard", SweepConfig{Specs: specs}, StoreConfig{Dir: t.TempDir(), Shard: -1, NumShards: 2}},
+		{"keep events", SweepConfig{Specs: specs, KeepEvents: true}, StoreConfig{Dir: t.TempDir()}},
+		{"keep reports", SweepConfig{Specs: specs, KeepReports: true}, StoreConfig{Dir: t.TempDir()}},
+		{"spill with post-study", SweepConfig{Specs: specs, PostStudy: func(int, *Result) {}},
+			StoreConfig{Dir: t.TempDir(), SpillTraces: true}},
+	}
+	for _, tc := range cases {
+		if _, err := RunSweepStore(ctx, tc.cfg, tc.store); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestSpecFingerprint pins the fingerprint's sensitivity: identical
+// specs collide, and every axis of the configuration -- plus the
+// caller salt -- separates them.
+func TestSpecFingerprint(t *testing.T) {
+	base := CrossSpecs([]uint64{1}, []float64{0.05}, nil, nil)[0]
+	if SpecFingerprint("", base) != SpecFingerprint("", base) {
+		t.Fatal("identical specs fingerprint differently")
+	}
+	seen := map[string]string{SpecFingerprint("", base): "base"}
+	add := func(name string, spec StudySpec) {
+		fp := SpecFingerprint("", spec)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+	seedVar := base
+	seedVar.Config.Seed = 2
+	add("seed", seedVar)
+	scaleVar := base
+	scaleVar.Config.Scale = 0.1
+	add("scale", scaleVar)
+	labelVar := base
+	labelVar.Label = "renamed"
+	add("label", labelVar)
+	wp := workload.Default(0)
+	wp.CFDSimJobs++
+	wlVar := base
+	wlVar.Config.Workload = &wp
+	add("workload", wlVar)
+	mc := machine.NASConfig(0)
+	mc.ComputeNodes = 64
+	mcVar := base
+	mcVar.Config.Machine = &mc
+	add("machine", mcVar)
+	// A caller salt must move the fingerprint too.
+	if fp := SpecFingerprint("salted", base); seen[fp] != "" {
+		t.Fatalf("salted fingerprint collides with %s", seen[fp])
+	}
+
+	// Non-finite floats in hand-built override params must hash, not
+	// panic (json.Marshal would refuse them), and must not collide
+	// with the finite variant.
+	nanWl := workload.Default(0)
+	nanWl.HorizonHours = math.NaN()
+	nanVar := base
+	nanVar.Config.Workload = &nanWl
+	add("nan workload", nanVar)
+}
+
+// TestNormalizedRejectsNonFinite pins the NaN-scale fix at the
+// library clamp: NaN and infinities can no longer reach the
+// generator through Config.normalized.
+func TestNormalizedRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 0} {
+		if got := (Config{Scale: bad}).normalized().Scale; got != MinScale {
+			t.Fatalf("normalized(%v) scale = %v, want %v", bad, got, MinScale)
+		}
+	}
+	if got := (Config{Scale: 0.5}).normalized().Scale; got != 0.5 {
+		t.Fatalf("normalized clobbered a valid scale: %v", got)
+	}
+}

@@ -417,7 +417,9 @@ func (s *Spec) resolveMix(i int) (ResolvedMix, error) {
 	if m.SharedFieldFiles > 0 {
 		p.SharedFieldFiles = m.SharedFieldFiles
 	}
-	if m.HorizonHours < 0 || m.HorizonHours > maxHorizonHrs {
+	// The negated form also rejects NaN, which passes both ordered
+	// comparisons (a hand-built Spec can carry one; JSON cannot).
+	if !(m.HorizonHours >= 0 && m.HorizonHours <= maxHorizonHrs) {
 		return ResolvedMix{}, fmt.Errorf("scenario %s, mix %s: horizonHours %v out of range (0, %d]", s.Name, name, m.HorizonHours, maxHorizonHrs)
 	}
 	if m.HorizonHours > 0 {

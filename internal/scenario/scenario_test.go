@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -194,6 +195,32 @@ func TestValidateHandBuiltSpec(t *testing.T) {
 	s2 := &Spec{Version: 1, Name: "hand", Machines: []string{"unknown"}}
 	if err := s2.Validate(); err == nil {
 		t.Fatal("unknown preset accepted")
+	}
+}
+
+// TestValidateRejectsNonFiniteNumbers: NaN fails every ordered
+// comparison, so range checks written as `v < lo || v > hi` wave it
+// through. JSON cannot encode NaN, but a hand-built Spec can carry
+// one; Validate must reject it on every float field.
+func TestValidateRejectsNonFiniteNumbers(t *testing.T) {
+	nan := math.NaN()
+	s := &Spec{Version: 1, Name: "nan", Scales: []float64{nan}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("NaN scale accepted")
+	}
+	s = &Spec{Version: 1, Name: "nan", Scales: []float64{math.Inf(1)}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("+Inf scale accepted")
+	}
+	s = &Spec{Version: 1, Name: "nan",
+		Workloads: []Mix{{Name: "m", HorizonHours: nan}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("NaN horizonHours accepted")
+	}
+	s = &Spec{Version: 1, Name: "nan",
+		Workloads: []Mix{{Name: "m", HorizonHours: math.Inf(1)}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("+Inf horizonHours accepted")
 	}
 }
 

@@ -81,7 +81,7 @@ type Writer struct {
 	bw      *bufio.Writer
 	header  Header
 	index   []BlockInfo
-	noIndex bool  // batch WriteTo never reads the index; skip building it
+	noIndex bool // batch WriteTo never reads the index; skip building it
 	blocks  int
 	off     int64 // logical offset of the next block header
 	events  int64 // records written so far (flatten index of the next)
