@@ -8,7 +8,7 @@
 //	charisma [-scale 0.1] [-seed 42] [-fig N | -table N | -report] [-trace file]
 //	charisma -sweep [-seeds 1-32] [-scales 0.05,0.1] [-workers 0]
 //	charisma -scenario testdata/scenarios/fig8.json [-workers 0]
-//	charisma -sweep|-scenario ... -out runs/full [-shard 0/4] [-resume]
+//	charisma -sweep|-scenario ... -out runs/full [-worker-id w1] [-lease-ttl 30s]
 //
 // With -fig or -table only that figure or table is printed; -report
 // (the default) prints everything. Figures 1-7 come straight from the
@@ -31,14 +31,23 @@
 // .trc files instead of fresh simulations. -workers overrides the
 // spec's worker count; output is byte-identical either way.
 //
-// -out makes a sweep or scenario persistent and resumable: each
+// -out makes a sweep or scenario persistent and distributed: each
 // study's outcome is committed to the run directory as it completes,
-// keyed by a configuration fingerprint, and an interrupted run picks
-// up where it left off with -resume. -shard i/n executes only every
-// n-th pending study, so a big run can be split across processes or
-// machines sharing the directory; whichever invocation finds the run
-// complete prints the merged report, byte-identical to a
-// single-process run. See the README's "Sharded runs" section.
+// keyed by a configuration fingerprint. Any number of charisma
+// processes -- or machines sharing the directory over a network
+// filesystem -- drain the same queue: each claims a pending study
+// via an atomic lease file (renewed by heartbeat, reclaimed by the
+// others if the holder dies for longer than -lease-ttl) and the run
+// finishes with no manual resume step. Resume is implicit: re-running
+// the same command against the directory executes only what is
+// missing, refusing only a manifest mismatch (a different sweep in
+// the same directory). Every invocation waits until the whole run is
+// drained and prints the merged report, byte-identical to a
+// single-process run. -worker-id names the worker in the manifest's
+// per-worker throughput counters. The deprecated -shard i/n static
+// partition remains for compatibility and conflicts with
+// -worker-id/-lease-ttl. See the README's "Distributed runs"
+// section.
 package main
 
 import (
@@ -53,6 +62,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/scenario"
@@ -82,9 +92,11 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	seeds := fs.String("seeds", "", "sweep seeds: values and ranges, e.g. '3,1-5' (default: -seed)")
 	scales := fs.String("scales", "", "sweep scales: comma-separated list (default: -scale)")
 	workers := fs.Int("workers", 0, "sweep worker goroutines; 0 = GOMAXPROCS")
-	outDir := fs.String("out", "", "persist sweep/scenario outcomes to this run directory (resumable)")
-	shardSpec := fs.String("shard", "", "run only shard i of n pending studies, as 'i/n' (requires -out)")
-	resume := fs.Bool("resume", false, "allow reusing an existing run directory's outcomes")
+	outDir := fs.String("out", "", "persist sweep/scenario outcomes to this run directory (distributed + resumable)")
+	shardSpec := fs.String("shard", "", "deprecated: run only static shard i of n, as 'i/n' (requires -out; conflicts with -worker-id/-lease-ttl)")
+	workerID := fs.String("worker-id", "", "worker identity for distributed runs (requires -out; default host-pid)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "work-claim lease time-to-live before other workers reclaim (requires -out; default 30s)")
+	resume := fs.Bool("resume", false, "allow reusing an existing run directory's outcomes (implicit in lease mode; required with -shard)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file")
 	if err := fs.Parse(argv); err != nil {
@@ -105,6 +117,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 		traceOut: *traceOut, sweep: *sweep, scenarioPath: *scenarioPath,
 		seeds: *seeds, scales: *scales, workers: *workers,
 		outDir: *outDir, shardSpec: *shardSpec, resume: *resume,
+		workerID: *workerID, leaseTTL: *leaseTTL,
 	}, stdout, stderr); err != nil {
 		fmt.Fprintln(stderr, "charisma:", err)
 		return 1
@@ -126,6 +139,8 @@ type appConfig struct {
 	workers      int
 	outDir       string
 	shardSpec    string
+	workerID     string
+	leaseTTL     time.Duration
 	resume       bool
 }
 
@@ -138,10 +153,13 @@ func run(cfg appConfig, stdout, stderr io.Writer) error {
 	if math.IsNaN(cfg.scale) || math.IsInf(cfg.scale, 0) || cfg.scale <= 0 {
 		return fmt.Errorf("bad -scale %v (want a finite scale > 0)", cfg.scale)
 	}
-	store, useStore, err := parseStore(cfg.outDir, cfg.shardSpec, cfg.resume)
+	store, useStore, err := parseStore(cfg)
 	if err != nil {
 		return err
 	}
+	// Housekeeping notices (stale-file sweeps, lease reclaims) share
+	// the timing channel; stdout stays deterministic report text.
+	store.Log = stderr
 	switch {
 	case cfg.scenarioPath != "":
 		return runScenario(stdout, stderr, cfg.scenarioPath, cfg.workers, store, useStore)
@@ -227,25 +245,53 @@ func startProfiles(cpuPath, memPath string, stderr io.Writer) (func(), error) {
 	}, nil
 }
 
-// parseStore turns the -out/-shard/-resume flags into a store config.
-func parseStore(outDir, shardSpec string, resume bool) (core.StoreConfig, bool, error) {
-	if outDir == "" {
-		if shardSpec != "" {
-			return core.StoreConfig{}, false, errors.New("-shard requires -out")
-		}
-		if resume {
-			return core.StoreConfig{}, false, errors.New("-resume requires -out")
+// parseStore turns the -out/-worker-id/-lease-ttl/-shard/-resume
+// flags into a store config. The default is lease-based work
+// stealing, where resume is implicit (the library refuses only a
+// manifest mismatch); the deprecated -shard static mode keeps the
+// old explicit-resume guard, and mixing the two modes' flags is an
+// error.
+func parseStore(cfg appConfig) (core.StoreConfig, bool, error) {
+	if cfg.outDir == "" {
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"-shard", cfg.shardSpec != ""},
+			{"-worker-id", cfg.workerID != ""},
+			{"-lease-ttl", cfg.leaseTTL != 0},
+			{"-resume", cfg.resume},
+		} {
+			if f.set {
+				return core.StoreConfig{}, false, fmt.Errorf("%s requires -out", f.name)
+			}
 		}
 		return core.StoreConfig{}, false, nil
 	}
-	shard, numShards, err := parseShard(shardSpec)
-	if err != nil {
-		return core.StoreConfig{}, false, err
+	if cfg.shardSpec != "" {
+		// Deprecated static mode. Refuse the lease flags loudly: a
+		// static shard ignores leases, so combining the modes would
+		// silently fall back to one of them.
+		if cfg.workerID != "" || cfg.leaseTTL != 0 {
+			conflict := "-worker-id"
+			if cfg.leaseTTL != 0 {
+				conflict = "-lease-ttl"
+			}
+			return core.StoreConfig{}, false, fmt.Errorf("-shard and %s conflict: static sharding and lease-based work stealing are mutually exclusive (drop -shard to use the lease scheduler)", conflict)
+		}
+		shard, numShards, err := parseShard(cfg.shardSpec)
+		if err != nil {
+			return core.StoreConfig{}, false, err
+		}
+		if core.HasManifest(cfg.outDir) && !cfg.resume {
+			return core.StoreConfig{}, false, fmt.Errorf("run directory %s already holds outcomes; pass -resume to continue it or use a fresh directory", cfg.outDir)
+		}
+		return core.StoreConfig{Dir: cfg.outDir, Shard: shard, NumShards: numShards}, true, nil
 	}
-	if core.HasManifest(outDir) && !resume {
-		return core.StoreConfig{}, false, fmt.Errorf("run directory %s already holds outcomes; pass -resume to continue it or use a fresh directory", outDir)
+	if cfg.leaseTTL < 0 {
+		return core.StoreConfig{}, false, fmt.Errorf("bad -lease-ttl %v (want a positive duration)", cfg.leaseTTL)
 	}
-	return core.StoreConfig{Dir: outDir, Shard: shard, NumShards: numShards}, true, nil
+	return core.StoreConfig{Dir: cfg.outDir, WorkerID: cfg.workerID, LeaseTTL: cfg.leaseTTL}, true, nil
 }
 
 // parseShard understands "i/n" with 0 <= i < n; empty means the
@@ -341,18 +387,22 @@ func runSweep(stdout, stderr io.Writer, cfg appConfig, store core.StoreConfig, u
 	return nil
 }
 
-// reportStoreRun prints one shard invocation's accounting to stderr:
-// what it ran, what was already committed, and whether the merged
-// report is ready.
+// reportStoreRun prints one invocation's accounting to stderr: what
+// it ran, what was already committed, and whether the merged report
+// is ready.
 func reportStoreRun(stderr io.Writer, what string, store core.StoreConfig, run *core.StoreRun, missing, total int) {
-	n := store.NumShards
-	if n < 1 {
-		n = 1
+	if store.NumShards > 1 {
+		fmt.Fprintf(stderr, "charisma: %s: shard %d/%d ran %d, skipped %d done, in %v; %d/%d outcomes committed\n",
+			what, store.Shard, store.NumShards, len(run.Ran), len(run.Skipped), run.Elapsed.Round(1e6), total-missing, total)
+		if missing > 0 {
+			fmt.Fprintf(stderr, "charisma: %d studies still pending (other shards or a -resume rerun); merged report withheld\n", missing)
+		}
+		return
 	}
-	fmt.Fprintf(stderr, "charisma: %s: shard %d/%d ran %d, skipped %d done, in %v; %d/%d outcomes committed\n",
-		what, store.Shard, n, len(run.Ran), len(run.Skipped), run.Elapsed.Round(1e6), total-missing, total)
+	fmt.Fprintf(stderr, "charisma: %s: worker %s ran %d (%d reclaimed), found %d done, in %v; %d/%d outcomes committed\n",
+		what, run.Worker.WorkerID, len(run.Ran), run.Reclaims, len(run.Skipped), run.Elapsed.Round(1e6), total-missing, total)
 	if missing > 0 {
-		fmt.Fprintf(stderr, "charisma: %d studies still pending (other shards or a -resume rerun); merged report withheld\n", missing)
+		fmt.Fprintf(stderr, "charisma: %d studies still pending (run cancelled before the queue drained); merged report withheld\n", missing)
 	}
 }
 

@@ -177,13 +177,77 @@ func TestSweepStoreCLI(t *testing.T) {
 		t.Fatalf("sharded CLI merge differs from the in-memory sweep:\n%s\nvs\n%s", out, single)
 	}
 
-	if code, _, stderr = app(append(args, "-out", dir)...); code == 0 || !strings.Contains(stderr, "-resume") {
-		t.Fatalf("rerun without -resume: exit %d, stderr %q", code, stderr)
+	// A static-shard rerun still demands the explicit -resume opt-in.
+	if code, _, stderr = app(append(args, "-out", dir, "-shard", "0/2")...); code == 0 || !strings.Contains(stderr, "-resume") {
+		t.Fatalf("static rerun without -resume: exit %d, stderr %q", code, stderr)
+	}
+	// A lease-mode rerun resumes implicitly: everything is already
+	// committed, so it just prints the merged report again.
+	code, out, stderr = app(append(args, "-out", dir)...)
+	if code != 0 {
+		t.Fatalf("lease-mode rerun exit %d, stderr %q", code, stderr)
+	}
+	if out != single {
+		t.Fatalf("lease-mode rerun merge differs from the in-memory sweep:\n%s", out)
 	}
 	if code, _, _ = app("-sweep", "-shard", "0/2"); code == 0 {
 		t.Fatal("-shard without -out accepted")
 	}
 	if code, _, _ = app("-shard", "0/2", "-out", t.TempDir()); code == 0 {
 		t.Fatal("store flags accepted outside -sweep/-scenario")
+	}
+}
+
+// TestWorkStealingCLI drives the lease-based scheduler through the
+// real flags: two sequential workers against one -out directory (the
+// second finds everything committed), the merged bytes match the
+// in-memory sweep, and the mode-conflict / missing--out errors are
+// loud and name their flags.
+func TestWorkStealingCLI(t *testing.T) {
+	args := []string{"-sweep", "-seeds", "1-3", "-scales", "0.01"}
+	code, single, stderr := app(args...)
+	if code != 0 {
+		t.Fatalf("plain sweep exit %d, stderr %q", code, stderr)
+	}
+
+	dir := t.TempDir()
+	code, out, stderr := app(append(args, "-out", dir, "-worker-id", "w1", "-lease-ttl", "5s")...)
+	if code != 0 {
+		t.Fatalf("worker 1 exit %d, stderr %q", code, stderr)
+	}
+	if out != single {
+		t.Fatalf("lease-mode merge differs from the in-memory sweep:\n%s\nvs\n%s", out, single)
+	}
+	if !strings.Contains(stderr, "worker w1 ran 3") {
+		t.Fatalf("stderr accounting missing the worker line: %q", stderr)
+	}
+	// A second worker joins late, finds the queue drained, and prints
+	// the identical merged report -- no -resume flag involved.
+	code, out, stderr = app(append(args, "-out", dir, "-worker-id", "w2")...)
+	if code != 0 {
+		t.Fatalf("worker 2 exit %d, stderr %q", code, stderr)
+	}
+	if out != single {
+		t.Fatalf("late worker's merge differs:\n%s", out)
+	}
+	if !strings.Contains(stderr, "found 3 done") {
+		t.Fatalf("late worker accounting wrong: %q", stderr)
+	}
+
+	// -shard plus a lease flag is a clear error naming both sides.
+	code, _, stderr = app(append(args, "-out", t.TempDir(), "-shard", "0/2", "-lease-ttl", "10s")...)
+	if code == 0 || !strings.Contains(stderr, "-shard") || !strings.Contains(stderr, "-lease-ttl") {
+		t.Fatalf("-shard + -lease-ttl: exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = app(append(args, "-out", t.TempDir(), "-shard", "0/2", "-worker-id", "x")...)
+	if code == 0 || !strings.Contains(stderr, "-shard") || !strings.Contains(stderr, "-worker-id") {
+		t.Fatalf("-shard + -worker-id: exit %d, stderr %q", code, stderr)
+	}
+	// Lease flags without -out are rejected like the other store flags.
+	if code, _, stderr = app("-sweep", "-worker-id", "w1"); code == 0 || !strings.Contains(stderr, "-worker-id requires -out") {
+		t.Fatalf("-worker-id without -out: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr = app("-sweep", "-lease-ttl", "5s"); code == 0 || !strings.Contains(stderr, "-lease-ttl requires -out") {
+		t.Fatalf("-lease-ttl without -out: exit %d, stderr %q", code, stderr)
 	}
 }

@@ -1,16 +1,18 @@
-// The persistent run store: sharded, resumable sweep execution. A
-// full-scale multi-seed sweep is hours of work, and until now it was
-// one monolithic process that lost everything on interruption. The
-// store turns a sweep into a directory of per-study outcome files
-// keyed by a configuration fingerprint (the run-manifest shape
-// simulation harnesses converge on): any number of processes, started
-// and restarted at any time, each execute a deterministic slice of
-// the not-yet-done studies and persist each outcome as it completes.
-// A merge pass then loads every outcome file and reconstructs a
-// SweepResult whose Format output is byte-identical to a
-// single-process RunSweep -- the worker-count-invariance discipline
-// of PRs 2-4, extended across processes and restarts
-// (TestSweepStoreShardResumeIdentical pins it).
+// The persistent run store: distributed, resumable sweep execution.
+// A full-scale multi-seed sweep is hours of work, and until now it
+// was one monolithic process that lost everything on interruption.
+// The store turns a sweep into a directory of per-study outcome
+// files keyed by a configuration fingerprint (the run-manifest shape
+// simulation harnesses converge on): any number of processes,
+// started and restarted at any time, drain one shared queue of
+// not-yet-done studies via lease-based claiming (see lease.go) and
+// persist each outcome as it completes. A merge pass then loads
+// every outcome file and reconstructs a SweepResult whose Format
+// output is byte-identical to a single-process RunSweep -- the
+// worker-count-invariance discipline of PRs 2-4, extended across
+// processes, machines, restarts, and mid-study worker deaths
+// (TestSweepStoreWorkStealingIdentical and
+// TestSweepStoreShardResumeIdentical pin it).
 package core
 
 import (
@@ -20,10 +22,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/machine"
@@ -44,18 +50,37 @@ const storeVersion = 1
 // alters study output for an unchanged StudySpec.
 const storeSalt = "charisma-store-v1"
 
-// StoreConfig selects the run directory and this process's shard of
-// the work.
+// StoreConfig selects the run directory and how this process claims
+// work from it. The default mode is lease-based work stealing: every
+// worker drains one shared queue of pending specs, claiming each via
+// an atomic lease file and reclaiming leases whose holder died (see
+// lease.go). Deprecated static sharding (Shard/NumShards) remains for
+// compatibility; the two modes are mutually exclusive.
 type StoreConfig struct {
 	// Dir is the run directory; it is created if absent. One directory
 	// holds one sweep (the manifest pins the spec list).
 	Dir string
-	// Shard / NumShards partition the spec list round-robin by spec
-	// index: this process executes spec i only when
-	// i % NumShards == Shard (among specs with no outcome file yet).
-	// NumShards <= 1 means unsharded; the partition is stable across
-	// restarts, so resuming a killed shard re-runs exactly its own
-	// unfinished specs.
+	// WorkerID identifies this process in lease files and the
+	// manifest's per-worker throughput counters. Empty means a
+	// host-pid identity. Sanitized to the filename-safe alphabet.
+	WorkerID string
+	// LeaseTTL is how long a claim survives without a heartbeat
+	// before other workers may reclaim its spec; 0 means
+	// DefaultLeaseTTL. All workers sharing a run directory should use
+	// the same TTL, comfortably above their mutual clock skew.
+	LeaseTTL time.Duration
+	// Log, when non-nil, receives store housekeeping notices (stale
+	// temp-file sweeps, orphaned-lease removal, reclaims). nil
+	// discards them.
+	Log io.Writer
+	// Shard / NumShards select the deprecated static mode: the spec
+	// list is partitioned round-robin by spec index and this process
+	// executes spec i only when i % NumShards == Shard (among specs
+	// with no outcome file yet). NumShards <= 1 means lease mode.
+	// Static partitions cannot load-balance -- a dead shard strands
+	// its slice until a manual resume -- so prefer the default.
+	//
+	// Deprecated: use lease-based claiming (the default mode).
 	Shard     int
 	NumShards int
 	// SpillTraces additionally writes each study's trace to
@@ -74,11 +99,16 @@ type StoreConfig struct {
 	AuxText func(i int) string
 }
 
-// normalized returns the store config with the shard fields clamped
-// to the unsharded defaults, or an error for a nonsensical shape.
+// normalized returns the store config with defaults filled in, or an
+// error for a nonsensical shape. Static sharding and lease claiming
+// cannot mix: a static shard ignores leases, so a lease worker
+// sharing its directory could double-claim the shard's slice.
 func (sc StoreConfig) normalized() (StoreConfig, error) {
 	if sc.Dir == "" {
 		return sc, errors.New("core: store: empty run directory")
+	}
+	if sc.NumShards > 1 && (sc.WorkerID != "" || sc.LeaseTTL != 0) {
+		return sc, errors.New("core: store: static sharding (Shard/NumShards) and lease claiming (WorkerID/LeaseTTL) are mutually exclusive")
 	}
 	if sc.NumShards <= 0 {
 		sc.NumShards = 1
@@ -86,7 +116,31 @@ func (sc StoreConfig) normalized() (StoreConfig, error) {
 	if sc.Shard < 0 || sc.Shard >= sc.NumShards {
 		return sc, fmt.Errorf("core: store: shard %d out of range [0, %d)", sc.Shard, sc.NumShards)
 	}
+	// Lease defaults are filled only in lease mode, which also keeps
+	// normalized idempotent (the scenario path normalizes, then hands
+	// the config to RunSweepStore, which normalizes again).
+	if sc.NumShards == 1 {
+		if sc.WorkerID == "" {
+			sc.WorkerID = defaultWorkerID()
+		} else {
+			sc.WorkerID = sanitizeWorkerID(sc.WorkerID)
+		}
+		if sc.LeaseTTL <= 0 {
+			sc.LeaseTTL = DefaultLeaseTTL
+		}
+		if sc.LeaseTTL < minLeaseTTL {
+			sc.LeaseTTL = minLeaseTTL
+		}
+	}
 	return sc, nil
+}
+
+// logf writes one housekeeping notice to the store's log sink.
+func (sc StoreConfig) logf(format string, args ...any) {
+	if sc.Log == nil {
+		return
+	}
+	fmt.Fprintf(sc.Log, "store: "+format+"\n", args...)
 }
 
 // fingerprintDoc is the canonical form a spec fingerprint hashes:
@@ -228,12 +282,16 @@ func writeFileAtomic(path string, data []byte) error {
 
 // storeManifest pins a run directory to one spec list: resuming with
 // a different sweep (or after a code-version salt bump) is an error
-// instead of a silent half-merge of two different runs.
+// instead of a silent half-merge of two different runs. Workers
+// carries the per-worker throughput counters (rebuilt from the
+// worker-<id>.json files as workers finish) and never participates in
+// the identity check.
 type storeManifest struct {
 	StoreVersion int
 	NumSpecs     int
 	Labels       []string
 	Fingerprints []string
+	Workers      map[string]WorkerStats `json:",omitempty"`
 }
 
 // manifestPath is the manifest file inside a run directory.
@@ -284,13 +342,21 @@ func equalStrings(a, b []string) bool {
 
 // StoreRun reports what one RunSweepStore (or scenario-store)
 // invocation did. Ran and Skipped are spec indices in ascending
-// order; specs belonging to other shards appear in neither.
+// order; specs committed by other concurrent workers (or, in the
+// deprecated static mode, belonging to other shards) appear in
+// neither.
 type StoreRun struct {
 	Ran     []int // executed and persisted by this invocation
-	Skipped []int // outcome file already existed (this shard's specs only)
+	Skipped []int // outcome file already existed when this run started
+	// Reclaims counts claims this invocation took over from an
+	// expired lease left by a dead or stalled worker (lease mode).
+	Reclaims int
+	// Worker is this invocation's throughput accounting, as persisted
+	// to the manifest (lease mode only; zero value in static mode).
+	Worker  WorkerStats
 	Elapsed time.Duration
 	// Err records the context error when the run was cancelled; specs
-	// left unrun stay pending for the next resume.
+	// left unrun stay pending for the next worker or resume.
 	Err error
 }
 
@@ -339,12 +405,16 @@ func loadOutcome(dir, fp string) (*storedOutcome, error) {
 	return &doc, nil
 }
 
-// runStore is the shard executor shared by the sweep and replay
-// paths: it filters the spec list down to this shard's pending slice
-// and runs exec for each, persisting outcomes as they complete. exec
-// returns the finished outcome plus its auxiliary text; traceFile
-// (pre-resolved per spec) is recorded in the outcome when non-empty.
-func runStore(ctx context.Context, workers int, store StoreConfig, labels, fps []string,
+// runStore is the executor shared by the sweep and replay paths: it
+// opens the store (manifest check plus a stale-debris sweep) and
+// drains the pending specs, persisting outcomes as they complete.
+// The default path is the lease-based work-stealing drain; NumShards
+// > 1 selects the deprecated static partition. exec returns the
+// finished outcome plus its auxiliary text; traceFile (pre-resolved
+// per spec) is recorded in the outcome when non-empty. costs, when
+// non-nil, ranks claim order (most expensive first); nil means spec
+// order.
+func runStore(ctx context.Context, workers int, store StoreConfig, labels, fps []string, costs []float64,
 	exec func(worker, specIdx int) (StudyOutcome, string, string, error)) (*StoreRun, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -352,6 +422,18 @@ func runStore(ctx context.Context, workers int, store StoreConfig, labels, fps [
 	if err := ensureManifest(store, labels, fps); err != nil {
 		return nil, err
 	}
+	sweepStale(store)
+	if store.NumShards > 1 {
+		return runStaticStore(ctx, workers, store, fps, exec)
+	}
+	return runLeaseStore(ctx, workers, store, fps, costs, exec)
+}
+
+// runStaticStore is the deprecated PR 5 executor: this process runs
+// exactly its round-robin slice of the pending specs and returns
+// without waiting for other shards.
+func runStaticStore(ctx context.Context, workers int, store StoreConfig, fps []string,
+	exec func(worker, specIdx int) (StudyOutcome, string, string, error)) (*StoreRun, error) {
 	run := &StoreRun{}
 	var mine []int
 	for i := range fps {
@@ -394,13 +476,161 @@ func runStore(ctx context.Context, workers int, store StoreConfig, labels, fps [
 	return run, nil
 }
 
-// RunSweepStore executes this shard's slice of cfg.Specs against the
-// run directory: specs whose outcome file already exists are skipped,
-// the rest are fanned across cfg.Workers goroutines (one reusable
-// Arena each, exactly like RunSweep), and every outcome is persisted
-// the moment it completes -- so a killed process loses at most its
-// in-flight studies, and resuming re-runs only what is missing.
-// Combine the shards' files with MergeSweepStore.
+// runLeaseStore is the work-stealing drain: every worker goroutine
+// walks the pending specs in descending estimated cost, claims the
+// first claimable one via its lease file, executes it, commits, and
+// releases. Workers that find nothing claimable -- everything
+// committed or under a live lease held elsewhere -- poll until every
+// outcome exists, reclaiming any lease whose holder stops
+// heartbeating; so the call returns only when the whole sweep is
+// drained (or ctx is cancelled), with no manual resume step. Claims
+// are exclusive in the common case, but even a duplicate execution
+// (a presumed-dead worker waking up) commits byte-identical outcomes
+// via atomic rename, so the merge guarantee never depends on the
+// lease protocol being airtight.
+func runLeaseStore(ctx context.Context, workers int, store StoreConfig, fps []string, costs []float64,
+	exec func(worker, specIdx int) (StudyOutcome, string, string, error)) (*StoreRun, error) {
+	order := costOrder(costs)
+	n := len(fps)
+	run := &StoreRun{}
+	start := time.Now()
+
+	// committed[i] memoizes "outcome i exists" so each worker pass
+	// stats only still-pending specs.
+	committed := make([]atomic.Bool, n)
+	for i := range fps {
+		if _, err := os.Stat(outcomePath(store.Dir, fps[i])); err == nil {
+			committed[i].Store(true)
+			run.Skipped = append(run.Skipped, i)
+		}
+	}
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var mu sync.Mutex // guards run.Ran, simSeconds, reclaims, firstErr
+	var firstErr error
+	var simSeconds float64
+	var reclaims int
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancelRun()
+	}
+
+	poll := store.LeaseTTL / 4
+	if poll < 5*time.Millisecond {
+		poll = 5 * time.Millisecond
+	}
+	if poll > 2*time.Second {
+		poll = 2 * time.Second
+	}
+
+	workers = workerCount(workers, n)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Each goroutine claims under its own lease identity so
+			// in-process workers steal from each other through the very
+			// same protocol as cross-process ones.
+			owner := fmt.Sprintf("%s#%d", store.WorkerID, w)
+			for {
+				progress, pending := false, false
+				for _, i := range order {
+					if runCtx.Err() != nil {
+						return
+					}
+					if committed[i].Load() {
+						continue
+					}
+					if _, err := os.Stat(outcomePath(store.Dir, fps[i])); err == nil {
+						committed[i].Store(true)
+						continue
+					}
+					pending = true
+					claimed, reclaimed, err := tryClaim(store.Dir, fps[i], owner, store.LeaseTTL)
+					if err != nil {
+						fail(fmt.Errorf("core: store: claiming %s: %w", fps[i], err))
+						return
+					}
+					if !claimed {
+						continue
+					}
+					if reclaimed {
+						store.logf("%s reclaimed %s from an expired lease", owner, fps[i])
+					}
+					stopHB := heartbeatLease(store.Dir, fps[i], owner, store.LeaseTTL)
+					out, aux, traceFile, err := exec(w, i)
+					if err == nil {
+						err = persistOutcome(store, fps[i], &out, aux, traceFile)
+					}
+					stopHB()
+					releaseLease(store.Dir, fps[i])
+					if err != nil {
+						fail(err)
+						return
+					}
+					committed[i].Store(true)
+					progress = true
+					mu.Lock()
+					run.Ran = append(run.Ran, i)
+					simSeconds += out.Horizon.ToSeconds()
+					if reclaimed {
+						reclaims++
+					}
+					mu.Unlock()
+				}
+				if !pending {
+					return // every spec has a committed outcome
+				}
+				if !progress {
+					// Everything pending is leased elsewhere: wait for
+					// commits to land or leases to expire.
+					select {
+					case <-runCtx.Done():
+						return
+					case <-time.After(poll):
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	run.Elapsed = time.Since(start)
+	run.Err = ctx.Err()
+	run.Reclaims = reclaims
+	sort.Ints(run.Ran)
+	run.Worker = WorkerStats{
+		WorkerID:    store.WorkerID,
+		Completed:   len(run.Ran),
+		SimSeconds:  simSeconds,
+		WallSeconds: run.Elapsed.Seconds(),
+		Reclaims:    reclaims,
+	}
+	if err := persistWorkerStats(store.Dir, run.Worker); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return run, firstErr
+	}
+	return run, nil
+}
+
+// RunSweepStore drains cfg.Specs against the run directory: specs
+// whose outcome file already exists are skipped, the rest are
+// claimed one at a time (most expensive first) by cfg.Workers
+// goroutines (one reusable Arena each, exactly like RunSweep), and
+// every outcome is persisted the moment it completes -- so a killed
+// process loses at most its in-flight studies, and any other worker
+// sharing the directory reclaims them after the lease TTL. In the
+// default lease mode the call returns once every spec's outcome
+// exists (or ctx is cancelled); in the deprecated static-shard mode
+// it returns after this shard's slice. Combine the outcome files
+// with MergeSweepStore.
 func RunSweepStore(ctx context.Context, cfg SweepConfig, store StoreConfig) (*StoreRun, error) {
 	store, err := store.normalized()
 	if err != nil {
@@ -414,7 +644,7 @@ func RunSweepStore(ctx context.Context, cfg SweepConfig, store StoreConfig) (*St
 	}
 	labels, fps := specKeys(store.Salt, cfg.Specs)
 	arenas := make([]*Arena, workerCount(cfg.Workers, len(cfg.Specs)))
-	return runStore(ctx, cfg.Workers, store, labels, fps,
+	return runStore(ctx, cfg.Workers, store, labels, fps, specCosts(cfg.Specs),
 		func(w, i int) (StudyOutcome, string, string, error) {
 			if store.SpillTraces {
 				out, err := spillSpec(cfg.Specs[i], store, fps[i])
@@ -608,6 +838,9 @@ func RunScenarioStore(ctx context.Context, spec *scenario.Spec, store StoreConfi
 		specs = make([]StudySpec, len(paths))
 		labels := make([]string, len(paths))
 		fps = make([]string, len(paths))
+		// A replay study's cost scales with its trace, so claim the
+		// biggest files first (same longest-first policy as specCost).
+		costs := make([]float64, len(paths))
 		for i, path := range paths {
 			specs[i] = StudySpec{Label: replayLabel(path)}
 			labels[i] = specs[i].Label
@@ -615,8 +848,11 @@ func RunScenarioStore(ctx context.Context, spec *scenario.Spec, store StoreConfi
 			if err != nil {
 				return nil, err
 			}
+			if fi, err := os.Stat(path); err == nil {
+				costs[i] = float64(fi.Size())
+			}
 		}
-		run, err = runStore(ctx, spec.Workers, store, labels, fps,
+		run, err = runStore(ctx, spec.Workers, store, labels, fps, costs,
 			func(_, i int) (StudyOutcome, string, string, error) {
 				out, text, err := replayStudy(paths[i], plan)
 				if err != nil {

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -119,6 +124,266 @@ func TestSweepStoreShardResumeIdentical(t *testing.T) {
 	}
 	if got, want := merge.Result.Format(), single.Format(); got != want {
 		t.Fatalf("sharded+resumed merge differs from single-process RunSweep (first diff near byte %d):\n%s", firstDiff(got, want), got)
+	}
+}
+
+// TestSweepStoreWorkStealingIdentical is the lease scheduler's
+// acceptance pin: three workers with distinct identities race one
+// shared run directory (exactly what three processes on a network
+// filesystem do), every spec is claimed exactly once, all three
+// return only when the queue is drained, and the merge is
+// byte-identical to a single-process RunSweep. Run under -race in CI.
+func TestSweepStoreWorkStealingIdentical(t *testing.T) {
+	specs := sweepSpecs(6)
+	single := RunSweep(context.Background(), SweepConfig{Specs: specs, Workers: 1})
+
+	dir := t.TempDir()
+	// A long TTL makes reclaims impossible, so claim exclusivity alone
+	// must partition the specs.
+	runs := make([]*StoreRun, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runs[w], errs[w] = RunSweepStore(context.Background(),
+				SweepConfig{Specs: specs, Workers: 1},
+				StoreConfig{Dir: dir, WorkerID: fmt.Sprintf("w%d", w), LeaseTTL: time.Minute})
+		}(w)
+	}
+	wg.Wait()
+
+	total, reclaims := 0, 0
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+		total += len(runs[w].Ran)
+		reclaims += runs[w].Reclaims
+	}
+	if total != len(specs) {
+		t.Fatalf("workers committed %d specs in total, want %d (duplicate or lost claims)", total, len(specs))
+	}
+	if reclaims != 0 {
+		t.Fatalf("%d reclaims among live heartbeating workers", reclaims)
+	}
+
+	merge, err := MergeSweepStore(SweepConfig{Specs: specs}, StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merge.Missing) != 0 {
+		t.Fatalf("specs missing after a drained run: %v", merge.Missing)
+	}
+	if got, want := merge.Result.Format(), single.Format(); got != want {
+		t.Fatalf("work-stealing merge differs from single-process RunSweep (first diff near byte %d):\n%s", firstDiff(got, want), got)
+	}
+
+	// The manifest's per-worker throughput counters must account for
+	// every committed spec and some positive simulated time.
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m storeManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	completed, sim := 0, 0.0
+	for _, ws := range m.Workers {
+		completed += ws.Completed
+		sim += ws.SimSeconds
+	}
+	if completed != len(specs) || sim <= 0 {
+		t.Fatalf("manifest worker counters: completed %d (want %d), sim-seconds %g: %+v", completed, len(specs), sim, m.Workers)
+	}
+}
+
+// TestSweepStoreWorkStealingReclaimIdentical is the kill-based
+// resilience pin: a worker hard-killed mid-study leaves its lease
+// behind with no outcome (modeled by claiming the spec and never
+// heartbeating or committing). A live worker must wait out the TTL,
+// reclaim the spec, drain the whole sweep with no manual resume, and
+// still merge byte-identical to a single-process RunSweep.
+func TestSweepStoreWorkStealingReclaimIdentical(t *testing.T) {
+	specs := sweepSpecs(4)
+	single := RunSweep(context.Background(), SweepConfig{Specs: specs, Workers: 1})
+
+	dir := t.TempDir()
+	const ttl = 150 * time.Millisecond
+	labels, fps := specKeys("", specs)
+	if err := ensureManifest(StoreConfig{Dir: dir}, labels, fps); err != nil {
+		t.Fatal(err)
+	}
+	// The "dead" worker claims a spec and dies: lease held, no
+	// heartbeat, no outcome.
+	claimed, _, err := tryClaim(dir, fps[1], "dead#0", ttl)
+	if err != nil || !claimed {
+		t.Fatalf("dead worker's claim: claimed=%v err=%v", claimed, err)
+	}
+
+	var log bytes.Buffer
+	run, err := RunSweepStore(context.Background(),
+		SweepConfig{Specs: specs, Workers: 2},
+		StoreConfig{Dir: dir, WorkerID: "live", LeaseTTL: ttl, Log: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(run.Ran), len(specs); got != want {
+		t.Fatalf("live worker committed %d specs %v, want %d", got, run.Ran, want)
+	}
+	if run.Reclaims < 1 {
+		t.Fatalf("live worker reported no reclaims (log: %q)", log.String())
+	}
+	if !strings.Contains(log.String(), "reclaimed") {
+		t.Fatalf("reclaim not logged: %q", log.String())
+	}
+	if run.Worker.Reclaims != run.Reclaims || run.Worker.Completed != len(run.Ran) {
+		t.Fatalf("worker stats disagree with the run: %+v vs Ran=%d Reclaims=%d", run.Worker, len(run.Ran), run.Reclaims)
+	}
+
+	merge, err := MergeSweepStore(SweepConfig{Specs: specs}, StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merge.Missing) != 0 {
+		t.Fatalf("specs missing after reclaim: %v", merge.Missing)
+	}
+	if got, want := merge.Result.Format(), single.Format(); got != want {
+		t.Fatalf("reclaimed merge differs from single-process RunSweep (first diff near byte %d):\n%s", firstDiff(got, want), got)
+	}
+}
+
+// TestSweepStoreLeaseCancelReleases: a gracefully cancelled worker
+// (ctx cancel, not SIGKILL) releases every lease it holds on the way
+// out, so a successor picks up the remaining specs immediately --
+// zero reclaims, no TTL wait -- and the merge is still byte-identical.
+func TestSweepStoreLeaseCancelReleases(t *testing.T) {
+	specs := sweepSpecs(5)
+	single := RunSweep(context.Background(), SweepConfig{Specs: specs, Workers: 1})
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	run1, err := RunSweepStore(ctx,
+		SweepConfig{
+			Specs:     specs,
+			Workers:   1,
+			PostStudy: func(i int, r *Result) { cancel() },
+		},
+		StoreConfig{Dir: dir, WorkerID: "w1", LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1.Err == nil {
+		t.Fatal("cancelled worker reported no context error")
+	}
+	if got, want := len(run1.Ran), 1; got != want {
+		t.Fatalf("cancelled worker committed %d specs %v, want %d", got, run1.Ran, want)
+	}
+	if leases, _ := filepath.Glob(filepath.Join(dir, "*.lease")); len(leases) != 0 {
+		t.Fatalf("cancelled worker left leases behind: %v", leases)
+	}
+
+	// The successor must drain the rest without waiting a TTL (the
+	// minute-long TTL would time the test out if a reclaim were
+	// needed).
+	run2, err := RunSweepStore(context.Background(),
+		SweepConfig{Specs: specs, Workers: 2},
+		StoreConfig{Dir: dir, WorkerID: "w2", LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.Reclaims != 0 {
+		t.Fatalf("successor reclaimed %d specs; graceful cancel should have released them", run2.Reclaims)
+	}
+	if got, want := len(run2.Ran)+len(run2.Skipped), len(specs); got != want {
+		t.Fatalf("successor saw %d specs (ran %v, skipped %v), want %d", got, run2.Ran, run2.Skipped, want)
+	}
+
+	merge, err := MergeSweepStore(SweepConfig{Specs: specs}, StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merge.Result.Format(), single.Format(); got != want {
+		t.Fatalf("cancel+takeover merge differs from single-process RunSweep (first diff near byte %d)", firstDiff(got, want))
+	}
+}
+
+// TestLeaseStoreClaimsCostOrder: workers claim pending specs in
+// descending estimated cost (scale x horizon), so the most expensive
+// study starts first instead of becoming the tail.
+func TestLeaseStoreClaimsCostOrder(t *testing.T) {
+	specs := CrossSpecs([]uint64{1}, []float64{0.01, 0.05, 0.02}, nil, nil)
+	labels, fps := specKeys("", specs)
+	store, err := StoreConfig{Dir: t.TempDir(), WorkerID: "w", LeaseTTL: time.Minute}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	_, err = runStore(context.Background(), 1, store, labels, fps, specCosts(specs),
+		func(_, i int) (StudyOutcome, string, string, error) {
+			got = append(got, i)
+			return StudyOutcome{Spec: specs[i], Done: true}, "", "", nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2, 0}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("claim order %v, want %v (descending scale)", got, want)
+	}
+	// Ties keep spec order, so the claim sequence is deterministic.
+	costs := []float64{1, 2, 2, 1}
+	if order := costOrder(costs); fmt.Sprint(order) != fmt.Sprint([]int{1, 2, 0, 3}) {
+		t.Fatalf("costOrder(%v) = %v", costs, order)
+	}
+}
+
+// TestStoreStaleSweep: opening a store removes debris a killed
+// process left behind -- old commit temp files and leases whose
+// outcome is already committed -- while sparing fresh temp files that
+// may belong to a live writer, and logs what it removed.
+func TestStoreStaleSweep(t *testing.T) {
+	specs := sweepSpecs(2)
+	dir := t.TempDir()
+	if _, err := RunSweepStore(context.Background(), SweepConfig{Specs: specs},
+		StoreConfig{Dir: dir, LeaseTTL: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, fps := specKeys("", specs)
+	old := time.Now().Add(-time.Hour)
+	staleTmp := filepath.Join(dir, "deadbeef.json.tmp12345")
+	freshTmp := filepath.Join(dir, "cafe.json.tmp67890")
+	orphanLease := filepath.Join(dir, fps[0]+".lease")
+	for _, p := range []string{staleTmp, freshTmp, orphanLease} {
+		if err := os.WriteFile(p, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Chtimes(staleTmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	if _, err := RunSweepStore(context.Background(), SweepConfig{Specs: specs},
+		StoreConfig{Dir: dir, LeaseTTL: time.Minute, Log: &log}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(staleTmp); !os.IsNotExist(err) {
+		t.Error("stale temp file survived the open sweep")
+	}
+	if _, err := os.Stat(orphanLease); !os.IsNotExist(err) {
+		t.Error("orphaned lease for a committed outcome survived the open sweep")
+	}
+	if _, err := os.Stat(freshTmp); err != nil {
+		t.Error("fresh temp file (possibly a live writer's) was removed")
+	}
+	for _, want := range []string{"stale temp file", "orphaned lease"} {
+		if !strings.Contains(log.String(), want) {
+			t.Errorf("open sweep did not log %q: %q", want, log.String())
+		}
 	}
 }
 
@@ -333,6 +598,10 @@ func TestStoreConfigValidation(t *testing.T) {
 		{"keep reports", SweepConfig{Specs: specs, KeepReports: true}, StoreConfig{Dir: t.TempDir()}},
 		{"spill with post-study", SweepConfig{Specs: specs, PostStudy: func(int, *Result) {}},
 			StoreConfig{Dir: t.TempDir(), SpillTraces: true}},
+		{"static shard + worker id", SweepConfig{Specs: specs},
+			StoreConfig{Dir: t.TempDir(), NumShards: 2, WorkerID: "w1"}},
+		{"static shard + lease ttl", SweepConfig{Specs: specs},
+			StoreConfig{Dir: t.TempDir(), NumShards: 2, LeaseTTL: time.Second}},
 	}
 	for _, tc := range cases {
 		if _, err := RunSweepStore(ctx, tc.cfg, tc.store); err == nil {
