@@ -6,6 +6,7 @@
 // Usage:
 //
 //	charisma [-scale 0.1] [-seed 42] [-fig N | -table N | -report] [-trace file]
+//	charisma [-faults io-slow] ... / charisma -sweep -faults dying-disk ...
 //	charisma -sweep [-seeds 1-32] [-scales 0.05,0.1] [-workers 0]
 //	charisma -scenario testdata/scenarios/fig8.json [-workers 0]
 //	charisma -sweep|-scenario ... -out runs/full [-worker-id w1] [-lease-ttl 30s]
@@ -22,6 +23,14 @@
 // core.RunSweep) and prints the aggregate report with min/median/max
 // columns. -cpuprofile and -memprofile capture pprof profiles of
 // any mode.
+//
+// -faults injects a named hardware-degradation preset (internal/
+// faults: degraded I/O nodes, disk wear, a slow interconnect, hot-node
+// skew) into a single study or every study of a -sweep. The report
+// then ends with a "Degradation" section. Scenarios declare faults in
+// their spec's "faults" block instead, so -faults conflicts with
+// -scenario. Fault injection is deterministic: the same command line
+// reproduces the same bytes.
 //
 // -scenario runs a declarative scenario spec (see internal/scenario
 // and the README's "Scenarios" section): machine presets, workload
@@ -65,6 +74,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/scenario"
 )
 
@@ -88,6 +98,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	report := fs.Bool("report", false, "print the full report (default when no -fig/-table)")
 	traceOut := fs.String("trace", "", "also write the raw trace to this file")
 	sweep := fs.Bool("sweep", false, "run a parallel study sweep over -seeds x -scales")
+	faultsPreset := fs.String("faults", "", "inject a named fault preset into the study or sweep: "+strings.Join(faults.PresetNames(), ", "))
 	scenarioPath := fs.String("scenario", "", "run the declarative scenario spec at this path")
 	seeds := fs.String("seeds", "", "sweep seeds: values and ranges, e.g. '3,1-5' (default: -seed)")
 	scales := fs.String("scales", "", "sweep scales: comma-separated list (default: -scale)")
@@ -115,6 +126,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	if err := run(appConfig{
 		scale: *scale, seed: *seed, fig: *fig, table: *table, report: *report,
 		traceOut: *traceOut, sweep: *sweep, scenarioPath: *scenarioPath,
+		faultsPreset: *faultsPreset,
 		seeds: *seeds, scales: *scales, workers: *workers,
 		outDir: *outDir, shardSpec: *shardSpec, resume: *resume,
 		workerID: *workerID, leaseTTL: *leaseTTL,
@@ -134,6 +146,7 @@ type appConfig struct {
 	traceOut     string
 	sweep        bool
 	scenarioPath string
+	faultsPreset string
 	seeds        string
 	scales       string
 	workers      int
@@ -157,6 +170,17 @@ func run(cfg appConfig, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var faultsCfg *faults.Config
+	if cfg.faultsPreset != "" {
+		if cfg.scenarioPath != "" {
+			return errors.New("-faults conflicts with -scenario: scenarios declare faults in their spec's \"faults\" block")
+		}
+		fc, err := faults.Preset(cfg.faultsPreset)
+		if err != nil {
+			return err
+		}
+		faultsCfg = &fc
+	}
 	// Housekeeping notices (stale-file sweeps, lease reclaims) share
 	// the timing channel; stdout stays deterministic report text.
 	store.Log = stderr
@@ -164,17 +188,19 @@ func run(cfg appConfig, stdout, stderr io.Writer) error {
 	case cfg.scenarioPath != "":
 		return runScenario(stdout, stderr, cfg.scenarioPath, cfg.workers, store, useStore)
 	case cfg.sweep:
-		return runSweep(stdout, stderr, cfg, store, useStore)
+		return runSweep(stdout, stderr, cfg, faultsCfg, store, useStore)
 	case useStore:
 		return errors.New("-out/-shard/-resume apply only to -sweep and -scenario runs")
 	}
-	return runStudy(stdout, stderr, cfg)
+	return runStudy(stdout, stderr, cfg, faultsCfg)
 }
 
 // runStudy is the single-study mode: the paper's figures and tables,
 // plus the Figure 8/9 cache simulations on the study's own trace.
-func runStudy(stdout, stderr io.Writer, cfg appConfig) error {
-	res := core.RunStudy(core.DefaultConfig(cfg.seed, cfg.scale))
+func runStudy(stdout, stderr io.Writer, cfg appConfig, faultsCfg *faults.Config) error {
+	studyCfg := core.DefaultConfig(cfg.seed, cfg.scale)
+	studyCfg.Faults = faultsCfg
+	res := core.RunStudy(studyCfg)
 
 	if cfg.traceOut != "" {
 		f, err := os.Create(cfg.traceOut)
@@ -349,7 +375,7 @@ func runScenario(stdout, stderr io.Writer, path string, workers int, store core.
 // runSweep executes the multi-study mode and prints the aggregate
 // report (deterministic) on stdout and timing (not) on stderr. With
 // a store the same resumable-shard protocol as scenarios applies.
-func runSweep(stdout, stderr io.Writer, cfg appConfig, store core.StoreConfig, useStore bool) error {
+func runSweep(stdout, stderr io.Writer, cfg appConfig, faultsCfg *faults.Config, store core.StoreConfig, useStore bool) error {
 	seedList, err := parseSeeds(cfg.seeds, cfg.seed)
 	if err != nil {
 		return err
@@ -359,6 +385,14 @@ func runSweep(stdout, stderr io.Writer, cfg appConfig, store core.StoreConfig, u
 		return err
 	}
 	specs := core.CrossSpecs(seedList, scaleList, nil, nil)
+	if faultsCfg != nil {
+		// Every study of the sweep runs on the same degraded machine;
+		// the store fingerprint covers the faults, so a faulted run
+		// directory never aliases a healthy one.
+		for i := range specs {
+			specs[i].Config.Faults = faultsCfg
+		}
+	}
 	sweepCfg := core.SweepConfig{Specs: specs, Workers: cfg.workers}
 	if !useStore {
 		res := core.RunSweep(context.Background(), sweepCfg)

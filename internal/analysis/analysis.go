@@ -3,6 +3,7 @@ package analysis
 import (
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -79,6 +80,11 @@ type Report struct {
 	// concurrently opened by multiple nodes.
 	ByteSharing  map[FileClass]*stats.CDF
 	BlockSharing map[FileClass]*stats.CDF
+
+	// Degradation is the injected-fault summary, attached by the study
+	// runner after analysis. Nil on a healthy machine, which keeps the
+	// formatted report byte-identical to a fault-free build.
+	Degradation *faults.Report
 }
 
 // Analyze computes a Report from a postprocessed (time-ordered) event

@@ -248,6 +248,9 @@ func (r *Report) Format() string {
 		r.FormatModes(),
 		r.FormatFig7(),
 	}
+	if r.Degradation != nil {
+		sections = append(sections, r.Degradation.Format())
+	}
 	return strings.Join(sections, "\n")
 }
 

@@ -31,10 +31,25 @@ type IONode struct {
 
 	prefetch bool
 
+	fault NodeFault // nil on a healthy node
+
 	requests   int64
 	cacheHits  int64
 	prefetches int64
 }
+
+// NodeFault is the degradation hook an I/O node consults while
+// serving (see internal/faults). Admit may defer a batch's service
+// start past an outage window; Scale may inflate a service duration
+// that begins at the given time. A nil NodeFault means healthy.
+type NodeFault interface {
+	Admit(start sim.Time, requests int) sim.Time
+	Scale(start, dur sim.Time) sim.Time
+}
+
+// SetFault installs a degradation hook on the node. Call it before
+// the simulation starts.
+func (n *IONode) SetFault(f NodeFault) { n.fault = f }
 
 // IONodeConfig sizes an I/O node.
 type IONodeConfig struct {
@@ -132,6 +147,9 @@ func (n *IONode) serve(arrival sim.Time, batch []blockRequest) sim.Time {
 	if n.busyUntil > start {
 		start = n.busyUntil // queue behind earlier requests
 	}
+	if n.fault != nil {
+		start = n.fault.Admit(start, len(batch))
+	}
 	t := start + n.overheadPerRequest
 	var readahead sim.Time
 	for _, r := range batch {
@@ -165,6 +183,15 @@ func (n *IONode) serve(arrival sim.Time, batch []blockRequest) sim.Time {
 				readahead += n.disk.ServiceTime(r.nextDiskBlock, 1, false)
 				n.prefetches++
 			}
+		}
+	}
+	if n.fault != nil {
+		// Degradation inflates the whole service (software overhead,
+		// disk time, and off-critical-path readahead alike) by the
+		// factor in effect when service began.
+		t = start + n.fault.Scale(start, t-start)
+		if readahead > 0 {
+			readahead = n.fault.Scale(start, readahead)
 		}
 	}
 	n.busyUntil = t + readahead

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cachesim"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -49,6 +50,11 @@ type Config struct {
 	// Machine overrides the NAS machine configuration when non-nil.
 	// Its Seed field is likewise stamped from Config.Seed.
 	Machine *machine.Config
+	// Faults injects deterministic hardware degradation when non-nil:
+	// it is stamped onto the machine configuration the study runs
+	// (overriding any Faults carried by Machine). Nil leaves the
+	// machine healthy.
+	Faults *faults.Config
 }
 
 // MinScale is the smallest supported study scale: every entry point
@@ -126,6 +132,9 @@ func studyParams(cfg Config) (workload.Params, machine.Config) {
 		grow := int64(1 + 15*cfg.Scale)
 		mc.FS.IONode.Disk.CapacityBytes *= grow
 	}
+	if cfg.Faults != nil {
+		mc.Faults = *cfg.Faults
+	}
 	return wp, mc
 }
 
@@ -162,6 +171,7 @@ func runStudy(cfg Config, a *Arena) *Result {
 		events = trace.Postprocess(tr)
 		report = analysis.Analyze(tr.Header, events, horizon)
 	}
+	report.Degradation = m.FaultReport()
 	return &Result{
 		Header:        tr.Header,
 		Trace:         tr,

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/scenario"
+)
+
+// TestFaultFreeByteIdentical pins the tentpole guarantee of fault
+// injection: a Config carrying an explicit-but-empty faults block
+// produces the same bytes as one with no faults at all, which in turn
+// must match the committed seed-42 golden. Fault plumbing may only
+// change output when a fault is actually configured.
+func TestFaultFreeByteIdentical(t *testing.T) {
+	cfg := DefaultConfig(42, 0.02)
+	cfg.Faults = &faults.Config{} // present, empty: injects nothing
+	got := RunStudy(cfg).Report.Format()
+
+	want, err := os.ReadFile(filepath.Join("testdata", "report_seed42_scale002.golden"))
+	if err != nil {
+		t.Fatalf("reading seed-42 golden: %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("empty faults config changed the seed-42 report (first diff near byte %d)",
+			firstDiff(got, string(want)))
+	}
+	if strings.Contains(got, "Degradation") {
+		t.Fatal("fault-free report grew a Degradation section")
+	}
+
+	// The scenario layer must treat an empty faults block exactly like
+	// an absent one, including the run-store fingerprint.
+	withBlock, err := scenario.Parse([]byte(`{"version":1,"name":"e","faults":{"version":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := scenario.Parse([]byte(`{"version":1,"name":"e"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withBlock.FaultsConfig() != nil {
+		t.Fatal("empty faults block resolved to a non-nil config")
+	}
+	a, b := ScenarioSpecs(withBlock), ScenarioSpecs(without)
+	if SpecFingerprint("", a[0]) != SpecFingerprint("", b[0]) {
+		t.Fatal("empty faults block changed the store fingerprint")
+	}
+}
+
+// TestFaultDeterminism: the same faulted spec run twice produces
+// byte-identical reports (including the Degradation section and its
+// jitter statistics, which consume the dedicated fault RNG stream).
+func TestFaultDeterminism(t *testing.T) {
+	cfg := DefaultConfig(7, 0.01)
+	cfg.Faults = &faults.Config{
+		Windows: []faults.Window{
+			{Node: 2, StartHours: 0, EndHours: 2, Slowdown: 3},
+			{Node: 4, StartHours: 1, EndHours: 1.5, Outage: true},
+		},
+		Wear: faults.Wear{SeekMultiplier: 1.2, TransferMultiplier: 1.1, RampPerHour: 0.1},
+		Net:  faults.Net{LatencyMultiplier: 1.5, BandwidthDivisor: 2, JitterMicros: 50, Links: []faults.Link{{Dim: 0, LatencyMultiplier: 2}}},
+		Hot:  faults.Hot{Node: 0, Multiplier: 2},
+	}
+	first := RunStudy(cfg).Report.Format()
+	second := RunStudy(cfg).Report.Format()
+	if first != second {
+		t.Fatalf("faulted study not reproducible (first diff near byte %d)", firstDiff(first, second))
+	}
+	if !strings.Contains(first, "Degradation (injected faults)") {
+		t.Fatal("faulted report lacks the Degradation section")
+	}
+	if !strings.Contains(first, "jittered") {
+		t.Fatal("network degradation line missing")
+	}
+
+	// Faults perturb service times only: the healthy study at the same
+	// seed must differ (the fault did something) while keeping the
+	// same workload (trace record counts are generator-driven).
+	healthy := RunStudy(DefaultConfig(7, 0.01))
+	faulted := RunStudy(cfg)
+	if healthy.Report.Format() == first {
+		t.Fatal("fault injection changed nothing")
+	}
+	if healthy.TraceRecords != faulted.TraceRecords {
+		t.Fatalf("fault injection changed the workload itself: %d records healthy, %d faulted",
+			healthy.TraceRecords, faulted.TraceRecords)
+	}
+}
+
+// TestFaultWorkerInvariance: a faulted corpus scenario merges
+// byte-identically at 1, 2, and 8 sweep workers (each worker builds
+// its own machine and injector, so no fault state is shared). Also run
+// under -race in CI.
+func TestFaultWorkerInvariance(t *testing.T) {
+	path := filepath.Join(corpusDir, "fig8-degraded.json")
+	var baseline string
+	for _, workers := range []int{1, 2, 8} {
+		spec := loadCorpusSpec(t, path)
+		spec.Workers = workers
+		res, err := RunScenario(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := res.Format()
+		if workers == 1 {
+			baseline = got
+			if !strings.Contains(got, "seed=42") {
+				t.Fatal("unexpected report shape")
+			}
+			continue
+		}
+		if got != baseline {
+			t.Fatalf("faulted scenario differs between 1 and %d workers (first diff near byte %d)",
+				workers, firstDiff(got, baseline))
+		}
+	}
+}
+
+// TestFaultStoreFingerprint: a faulted spec must never alias its
+// healthy twin in a run store, and the faulted fingerprint must be
+// stable across processes (the faults config renders by value, not by
+// pointer identity).
+func TestFaultStoreFingerprint(t *testing.T) {
+	healthy := StudySpec{Label: "x", Config: DefaultConfig(1, 0.01)}
+	fc := faults.Config{Hot: faults.Hot{Node: 1, Multiplier: 2}}
+	faulted := healthy
+	faulted.Config.Faults = &fc
+	if SpecFingerprint("", healthy) == SpecFingerprint("", faulted) {
+		t.Fatal("faulted spec fingerprints identically to the healthy spec")
+	}
+	fc2 := faults.Config{Hot: faults.Hot{Node: 1, Multiplier: 2}}
+	faulted2 := healthy
+	faulted2.Config.Faults = &fc2
+	if SpecFingerprint("", faulted) != SpecFingerprint("", faulted2) {
+		t.Fatal("equal faults configs fingerprint differently (pointer identity leaked)")
+	}
+}
+
+// TestFaultStreamingMatchesBatch extends the streaming/batch
+// equivalence contract to faulted studies: the bounded-memory pipeline
+// must attach the identical Degradation section.
+func TestFaultStreamingMatchesBatch(t *testing.T) {
+	cfg := DefaultConfig(3, 0.01)
+	cfg.Faults = &faults.Config{
+		Windows: []faults.Window{{Node: 1, StartHours: 0, EndHours: 4, Slowdown: 2}},
+	}
+	batch := RunStudy(cfg).Report.Format()
+	var sink memSink
+	res, err := RunStudyStreaming(cfg, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Report.Format(); got != batch {
+		t.Fatalf("streaming faulted report differs from batch (first diff near byte %d)",
+			firstDiff(got, batch))
+	}
+}

@@ -171,7 +171,7 @@ func ScenarioSpecs(spec *scenario.Spec) []StudySpec {
 		for _, scale := range spec.ScaleList() {
 			for _, mix := range spec.MixList() {
 				for _, mc := range spec.MachineList() {
-					cfg := Config{Seed: seed, Scale: scale, Workload: mix.Params, Machine: mc.Config}.normalized()
+					cfg := Config{Seed: seed, Scale: scale, Workload: mix.Params, Machine: mc.Config, Faults: spec.FaultsConfig()}.normalized()
 					label := fmt.Sprintf("seed=%d scale=%g", seed, cfg.Scale)
 					if spec.MultiMix() {
 						label += " wl=" + mix.Name

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -156,6 +157,11 @@ type fingerprintDoc struct {
 	Scale    float64
 	Workload *workload.Params
 	Machine  *machine.Config
+	// Faults is the fault-injection override (nil for a healthy
+	// machine). Kept separate from Machine so that fault-free
+	// fingerprints are unchanged from builds that predate fault
+	// injection.
+	Faults *faults.Config
 	// Replay identifies a replay study's input (which has no
 	// simulation config at all): the trace path plus the file's size
 	// and mtime, so regenerating a trace in place moves the key
@@ -184,6 +190,9 @@ func (d fingerprintDoc) fingerprint() string {
 	if d.Machine != nil {
 		fmt.Fprintf(&b, "|mc=%+v", *d.Machine)
 	}
+	if d.Faults != nil {
+		fmt.Fprintf(&b, "|faults=%+v", *d.Faults)
+	}
 	if d.Replay != "" {
 		fmt.Fprintf(&b, "|replay=%q|size=%d|mtime=%d", d.Replay, d.ReplaySize, d.ReplayMtime)
 	}
@@ -203,6 +212,7 @@ func SpecFingerprint(salt string, spec StudySpec) string {
 		Scale:    cfg.Scale,
 		Workload: cfg.Workload,
 		Machine:  cfg.Machine,
+		Faults:   cfg.Faults,
 	}.fingerprint()
 }
 

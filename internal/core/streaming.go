@@ -102,9 +102,11 @@ func RunStudyStreaming(cfg Config, sink StreamSink) (*StreamResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: replaying spilled trace: %w", err)
 	}
+	report := o.Finish(horizon)
+	report.Degradation = m.FaultReport()
 	return &StreamResult{
 		Header:        m.TraceHeader(),
-		Report:        o.Finish(horizon),
+		Report:        report,
 		Horizon:       horizon,
 		EventCount:    rd.EventCount(),
 		TraceBlocks:   int64(rd.NumBlocks()),

@@ -42,6 +42,19 @@ func CDC760MB() Config {
 	}
 }
 
+// Wear degrades the drive's mechanics: seek and transfer costs are
+// multiplied by the given factors, both additionally scaled by a
+// progressive ramp of (1 + RampPerHour * simulated hours), read off
+// the Now clock. Rotational latency is unaffected (the spindle keeps
+// its speed; the arm and the head electronics age). Multipliers below
+// 1 are treated as 1.
+type Wear struct {
+	SeekMul     float64
+	TransferMul float64
+	RampPerHour float64
+	Now         func() sim.Time // simulation clock for the ramp
+}
+
 // Disk models one drive. It tracks head position so that sequential
 // block streams are much cheaper than random ones, which is what makes
 // request coalescing (the point of the paper's caching discussion)
@@ -55,7 +68,16 @@ type Disk struct {
 	reads     int64
 	writes    int64
 	busy      sim.Time // accumulated service time
+	wear      *Wear    // nil on a healthy drive
+	wearExtra sim.Time // service time added by wear
 }
+
+// SetWear installs a wear model on the drive. Call it before the
+// simulation starts.
+func (d *Disk) SetWear(w Wear) { d.wear = &w }
+
+// WearExtra reports the total service time added by wear.
+func (d *Disk) WearExtra() sim.Time { return d.wearExtra }
 
 // New returns a drive with the head parked at cylinder 0.
 func New(cfg Config) *Disk {
@@ -137,6 +159,28 @@ func (d *Disk) ServiceTime(block int64, count int, isWrite bool) sim.Time {
 		d.reads++
 	}
 	total := seek + rot + transfer
+	if d.wear != nil {
+		worn := d.wornTime(seek, transfer) + rot
+		d.wearExtra += worn - total
+		total = worn
+	}
 	d.busy += total
 	return total
+}
+
+// wornTime applies the wear model to the mechanical components of one
+// request.
+func (d *Disk) wornTime(seek, transfer sim.Time) sim.Time {
+	ramp := 1.0
+	if d.wear.RampPerHour > 0 && d.wear.Now != nil {
+		ramp += d.wear.RampPerHour * d.wear.Now().ToSeconds() / 3600
+	}
+	sm, tm := d.wear.SeekMul, d.wear.TransferMul
+	if sm < 1 {
+		sm = 1
+	}
+	if tm < 1 {
+		tm = 1
+	}
+	return sim.Time(float64(seek)*sm*ramp) + sim.Time(float64(transfer)*tm*ramp)
 }

@@ -1,0 +1,282 @@
+package faults
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error, naming the field
+	}{
+		{"node negative", Config{Windows: []Window{{Node: -1, EndHours: 1, Slowdown: 2}}}, "ioNodes[0].node"},
+		{"node too large", Config{Windows: []Window{{Node: 10, EndHours: 1, Slowdown: 2}}}, "ioNodes[0].node"},
+		{"start NaN", Config{Windows: []Window{{StartHours: math.NaN(), EndHours: 1, Slowdown: 2}}}, "startHours"},
+		{"start negative", Config{Windows: []Window{{StartHours: -1, EndHours: 1, Slowdown: 2}}}, "startHours"},
+		{"start Inf", Config{Windows: []Window{{StartHours: math.Inf(1), EndHours: 1, Slowdown: 2}}}, "startHours"},
+		{"end inverted", Config{Windows: []Window{{StartHours: 2, EndHours: 1, Slowdown: 2}}}, "endHours"},
+		{"end equals start", Config{Windows: []Window{{StartHours: 1, EndHours: 1, Slowdown: 2}}}, "endHours"},
+		{"end NaN", Config{Windows: []Window{{EndHours: math.NaN(), Slowdown: 2}}}, "endHours"},
+		{"end Inf", Config{Windows: []Window{{EndHours: math.Inf(1), Slowdown: 2}}}, "endHours"},
+		{"outage with slowdown", Config{Windows: []Window{{EndHours: 1, Outage: true, Slowdown: 2}}}, "both outage and slowdown"},
+		{"slowdown below one", Config{Windows: []Window{{EndHours: 1, Slowdown: 0.5}}}, "slowdown"},
+		{"slowdown zero non-outage", Config{Windows: []Window{{EndHours: 1}}}, "slowdown"},
+		{"slowdown NaN", Config{Windows: []Window{{EndHours: 1, Slowdown: math.NaN()}}}, "slowdown"},
+		{"slowdown huge", Config{Windows: []Window{{EndHours: 1, Slowdown: 1e7}}}, "slowdown"},
+		{"seek negative", Config{Wear: Wear{SeekMultiplier: -1}}, "disk.seekMultiplier"},
+		{"seek NaN", Config{Wear: Wear{SeekMultiplier: math.NaN()}}, "disk.seekMultiplier"},
+		{"transfer sub-unit", Config{Wear: Wear{TransferMultiplier: 0.3}}, "disk.transferMultiplier"},
+		{"ramp negative", Config{Wear: Wear{RampPerHour: -0.1}}, "disk.rampPerHour"},
+		{"ramp NaN", Config{Wear: Wear{RampPerHour: math.NaN()}}, "disk.rampPerHour"},
+		{"latency NaN", Config{Net: Net{LatencyMultiplier: math.NaN()}}, "network.latencyMultiplier"},
+		{"bandwidth sub-unit", Config{Net: Net{BandwidthDivisor: 0.5}}, "network.bandwidthDivisor"},
+		{"jitter negative", Config{Net: Net{JitterMicros: -5}}, "network.jitterMicros"},
+		{"jitter NaN", Config{Net: Net{JitterMicros: math.NaN()}}, "network.jitterMicros"},
+		{"jitter Inf", Config{Net: Net{JitterMicros: math.Inf(1)}}, "network.jitterMicros"},
+		{"link dim out of range", Config{Net: Net{Links: []Link{{Dim: 7, LatencyMultiplier: 2}}}}, "links[0].dim"},
+		{"link dim duplicate", Config{Net: Net{Links: []Link{{Dim: 1, LatencyMultiplier: 2}, {Dim: 1, LatencyMultiplier: 3}}}}, "repeats dim 1"},
+		{"link multiplier NaN", Config{Net: Net{Links: []Link{{Dim: 0, LatencyMultiplier: math.NaN()}}}}, "links[0].latencyMultiplier"},
+		{"hot node out of range", Config{Hot: Hot{Node: 10, Multiplier: 2}}, "hotNode.node"},
+		{"hot multiplier NaN", Config{Hot: Hot{Multiplier: math.NaN()}}, "hotNode.multiplier"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate(10, 7)
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsHealthyAndTypical(t *testing.T) {
+	var zero Config
+	if err := zero.Validate(10, 7); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if zero.Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+	full := Config{
+		Windows: []Window{
+			{Node: 0, StartHours: 0, EndHours: 1, Slowdown: 4},
+			{Node: 1, StartHours: 1, EndHours: 2, Outage: true},
+		},
+		Wear: Wear{SeekMultiplier: 1.5, TransferMultiplier: 1.5, RampPerHour: 0.25},
+		Net:  Net{LatencyMultiplier: 2, BandwidthDivisor: 2, JitterMicros: 100, Links: []Link{{Dim: 0, LatencyMultiplier: 2}}},
+		Hot:  Hot{Node: 3, Multiplier: 2},
+	}
+	if err := full.Validate(10, 7); err != nil {
+		t.Fatalf("typical config rejected: %v", err)
+	}
+	if !full.Enabled() {
+		t.Fatal("typical config reports disabled")
+	}
+}
+
+func TestResolveVersionAndRoundTrip(t *testing.T) {
+	bad := Spec{Version: 2}
+	if _, err := bad.Resolve(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version 2 resolved: %v", err)
+	}
+
+	raw := `{
+		"version": 1,
+		"ioNodes": [{"node": 3, "startHours": 0, "endHours": 1, "slowdown": 4}],
+		"disk": {"seekMultiplier": 1.5, "transferMultiplier": 1.5, "rampPerHour": 0.25},
+		"network": {"latencyMultiplier": 2, "bandwidthDivisor": 2, "jitterMicros": 100,
+		            "links": [{"dim": 1, "latencyMultiplier": 3}]},
+		"hotNode": {"node": 0, "multiplier": 2}
+	}`
+	dec := json.NewDecoder(strings.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(10, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Windows) != 1 || c.Windows[0] != (Window{Node: 3, EndHours: 1, Slowdown: 4}) {
+		t.Fatalf("windows resolved to %+v", c.Windows)
+	}
+	if c.Wear != (Wear{SeekMultiplier: 1.5, TransferMultiplier: 1.5, RampPerHour: 0.25}) {
+		t.Fatalf("wear resolved to %+v", c.Wear)
+	}
+	if c.Net.LatencyMultiplier != 2 || c.Net.JitterMicros != 100 ||
+		len(c.Net.Links) != 1 || c.Net.Links[0] != (Link{Dim: 1, LatencyMultiplier: 3}) {
+		t.Fatalf("net resolved to %+v", c.Net)
+	}
+	if c.Hot != (Hot{Node: 0, Multiplier: 2}) {
+		t.Fatalf("hot resolved to %+v", c.Hot)
+	}
+
+	empty := Spec{Version: 1}
+	c, err = empty.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Fatal("empty spec resolved to an enabled config")
+	}
+}
+
+// TestPresetsValidOnBothMachineShapes pins that every named preset is
+// usable on the full NAS machine (10 I/O nodes, dim-7 cube) and the
+// mini machine (4 I/O nodes, dim-5 cube), so `charisma -faults` never
+// fails for shape reasons.
+func TestPresetsValidOnBothMachineShapes(t *testing.T) {
+	names := PresetNames()
+	if len(names) < 5 {
+		t.Fatalf("expected at least 5 presets, got %v", names)
+	}
+	for _, name := range names {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if !cfg.Enabled() {
+			t.Fatalf("preset %q is a no-op", name)
+		}
+		if err := cfg.Validate(10, 7); err != nil {
+			t.Fatalf("preset %q invalid on NAS shape: %v", name, err)
+		}
+		if err := cfg.Validate(4, 5); err != nil {
+			t.Fatalf("preset %q invalid on mini shape: %v", name, err)
+		}
+	}
+	if _, err := Preset("no-such"); err == nil || !strings.Contains(err.Error(), "no-such") {
+		t.Fatalf("unknown preset error %v does not name the preset", err)
+	}
+}
+
+func TestNodeStateAdmitAndScale(t *testing.T) {
+	cfg := Config{
+		Windows: []Window{
+			{Node: 0, StartHours: 1, EndHours: 2, Outage: true},
+			{Node: 0, StartHours: 3, EndHours: 4, Slowdown: 4},
+		},
+		Hot: Hot{Node: 0, Multiplier: 2},
+	}
+	inj := NewInjector(cfg, 4, stats.NewRNG(1))
+	ns := inj.Node(0)
+	if ns == nil {
+		t.Fatal("node 0 has no fault state")
+	}
+	for i := 1; i < 4; i++ {
+		if inj.Node(i) != nil {
+			t.Fatalf("healthy node %d grew fault state", i)
+		}
+	}
+
+	hour := sim.Time(sim.Hour)
+	// Before the outage: admitted immediately.
+	if got := ns.Admit(hour/2, 1); got != hour/2 {
+		t.Fatalf("pre-outage Admit = %v", got)
+	}
+	// Mid-outage: deferred to the window's end.
+	if got := ns.Admit(hour+hour/2, 3); got != 2*hour {
+		t.Fatalf("mid-outage Admit = %v, want %v", got, 2*hour)
+	}
+	if ns.deferred != 3 || ns.waited != hour/2 {
+		t.Fatalf("outage stats deferred=%d waited=%v", ns.deferred, ns.waited)
+	}
+	// After the outage: admitted immediately again.
+	if got := ns.Admit(2*hour+1, 1); got != 2*hour+1 {
+		t.Fatalf("post-outage Admit = %v", got)
+	}
+
+	// Hot-node skew applies everywhere; the slowdown window compounds.
+	if got := ns.Scale(0, 100); got != 200 {
+		t.Fatalf("hot-only Scale = %v, want 200", got)
+	}
+	if got := ns.Scale(3*hour+1, 100); got != 800 {
+		t.Fatalf("windowed Scale = %v, want 800 (hot 2x * slowdown 4x)", got)
+	}
+	if ns.base != 200 || ns.actual != 1000 {
+		t.Fatalf("scale stats base=%v actual=%v", ns.base, ns.actual)
+	}
+}
+
+func TestNetStateLatency(t *testing.T) {
+	perHop := sim.Time(10)
+
+	// Link fault doubles dimension 1 only; mask 0b011 crosses dims 0,1.
+	d := NetState{cfg: Net{Links: []Link{{Dim: 1, LatencyMultiplier: 2}}}, linkMul: []float64{1, 2}}
+	// software 100 + (1 + 2)*10 hops + 2 extra hops*10 + transfer 50.
+	if got := d.Latency(100, perHop, 0b011, 2, 50); got != 100+30+20+50 {
+		t.Fatalf("link-degraded latency = %v, want 200", got)
+	}
+
+	// Latency multiplier scales software+hops, bandwidth divisor the
+	// transfer, and jitter adds a bounded non-negative term.
+	d2 := NetState{
+		cfg: Net{LatencyMultiplier: 2, BandwidthDivisor: 2, JitterMicros: 5},
+		rng: stats.NewRNG(9).Split(faultStream),
+	}
+	got := d2.Latency(100, perHop, 0b1, 0, 50)
+	base := sim.Time((100+10)*2 + 50*2)
+	if got < base || got > base+5*sim.Microsecond {
+		t.Fatalf("degraded latency %v outside [%v, %v]", got, base, base+5*sim.Microsecond)
+	}
+	if d2.messages != 1 || d2.jittered != 1 {
+		t.Fatalf("net stats messages=%d jittered=%d", d2.messages, d2.jittered)
+	}
+
+	// Same seed, same call order: jitter is reproducible.
+	d3 := NetState{
+		cfg: Net{LatencyMultiplier: 2, BandwidthDivisor: 2, JitterMicros: 5},
+		rng: stats.NewRNG(9).Split(faultStream),
+	}
+	if again := d3.Latency(100, perHop, 0b1, 0, 50); again != got {
+		t.Fatalf("jitter not reproducible: %v vs %v", again, got)
+	}
+}
+
+func TestInjectorBackstopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInjector accepted an invalid config")
+		}
+	}()
+	NewInjector(Config{Windows: []Window{{Node: 99, EndHours: 1, Slowdown: 2}}}, 4, stats.NewRNG(1))
+}
+
+func TestReportSkipsHealthyNodes(t *testing.T) {
+	cfg := Config{Windows: []Window{{Node: 2, StartHours: 0, EndHours: 1, Slowdown: 2}}}
+	inj := NewInjector(cfg, 10, stats.NewRNG(1))
+	inj.Node(2).Scale(0, 100)
+	r := inj.Report(make([]sim.Time, 10))
+	if len(r.Nodes) != 1 || r.Nodes[0].Node != 2 {
+		t.Fatalf("report rows %+v, want only node 2", r.Nodes)
+	}
+	if r.Net != nil {
+		t.Fatal("healthy network grew a report")
+	}
+	text := r.Format()
+	if !strings.Contains(text, "Degradation (injected faults)") {
+		t.Fatalf("report header missing:\n%s", text)
+	}
+
+	// Wear-only runs still list every worn node.
+	wearOnly := NewInjector(Config{Wear: Wear{SeekMultiplier: 1.5}}, 4, stats.NewRNG(1))
+	extra := []sim.Time{0, sim.Time(5 * sim.Second), 0, 0}
+	r2 := wearOnly.Report(extra)
+	if len(r2.Nodes) != 1 || r2.Nodes[0].Node != 1 || r2.Nodes[0].WearExtraSeconds != 5 {
+		t.Fatalf("wear report rows %+v", r2.Nodes)
+	}
+}

@@ -1,0 +1,58 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// presets are the named fault configurations reachable from the
+// command line (charisma -faults NAME). All of them validate against
+// the NAS machine shape (10 I/O nodes, dimension-7 cube) and the mini
+// preset (4 I/O nodes), so they compose with every built-in machine.
+var presets = map[string]Config{
+	// One I/O node permanently 4x slower: the fig8-degraded corpus
+	// scenario's fault, as an ad-hoc study.
+	"io-slow": {
+		Windows: []Window{{Node: 3, StartHours: 0, EndHours: maxWindowHours, Slowdown: 4}},
+	},
+	// One I/O node dark for the second simulated hour; requests queue
+	// until it returns.
+	"io-outage": {
+		Windows: []Window{{Node: 1, StartHours: 1, EndHours: 2, Outage: true}},
+	},
+	// Aging drives: seeks and transfers 1.5x slower and degrading a
+	// further 25% per simulated hour.
+	"dying-disk": {
+		Wear: Wear{SeekMultiplier: 1.5, TransferMultiplier: 1.5, RampPerHour: 0.25},
+	},
+	// A congested cube: double latency, half bandwidth, up to 100 us
+	// of deterministic per-message jitter.
+	"slow-net": {
+		Net: Net{LatencyMultiplier: 2, BandwidthDivisor: 2, JitterMicros: 100},
+	},
+	// Hot-node skew: I/O node 0 serves everything twice as slowly.
+	"hot-node": {
+		Hot: Hot{Node: 0, Multiplier: 2},
+	},
+}
+
+// Preset returns the named fault configuration. The error lists the
+// known names.
+func Preset(name string) (Config, error) {
+	c, ok := presets[name]
+	if !ok {
+		return Config{}, fmt.Errorf("faults: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
+	}
+	return c, nil
+}
+
+// PresetNames returns the preset names in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

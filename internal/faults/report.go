@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// NodeReport summarizes one I/O node's degradation over a study.
+type NodeReport struct {
+	Node             int
+	BaseSeconds      float64 // service time before degradation
+	ActualSeconds    float64 // service time actually charged
+	DegradedSeconds  float64 // charged time spent degraded
+	Inflation        float64 // mean service-time inflation (actual/base)
+	DeferredRequests int64   // requests queued past an outage window
+	DeferredSeconds  float64 // total outage wait added
+	WearExtraSeconds float64 // extra disk time from wear
+}
+
+// NetReport summarizes the interconnect degradation over a study.
+type NetReport struct {
+	Messages      int64
+	Jittered      int64
+	JitterSeconds float64
+}
+
+// Report is the per-study degradation summary attached to the analysis
+// report when faults are enabled.
+type Report struct {
+	Nodes []NodeReport
+	Net   *NetReport
+}
+
+// Report collects the degradation summary. wearExtra carries each
+// drive's wear-added busy time (indexed by I/O node), gathered by the
+// machine since the drives are owned by the file system.
+func (inj *Injector) Report(wearExtra []sim.Time) *Report {
+	r := &Report{}
+	for i := range inj.nodes {
+		nr := NodeReport{Node: i, Inflation: 1}
+		ns := inj.nodes[i]
+		if ns != nil {
+			nr.BaseSeconds = ns.base.ToSeconds()
+			nr.ActualSeconds = ns.actual.ToSeconds()
+			nr.DegradedSeconds = ns.degraded.ToSeconds()
+			if ns.base > 0 {
+				nr.Inflation = float64(ns.actual) / float64(ns.base)
+			}
+			nr.DeferredRequests = ns.deferred
+			nr.DeferredSeconds = ns.waited.ToSeconds()
+		}
+		if i < len(wearExtra) {
+			nr.WearExtraSeconds = wearExtra[i].ToSeconds()
+		}
+		// Healthy, wear-free nodes carry no degradation statistics;
+		// listing them would read as "this node did no work".
+		if ns == nil && nr.WearExtraSeconds == 0 {
+			continue
+		}
+		r.Nodes = append(r.Nodes, nr)
+	}
+	if inj.net != nil {
+		r.Net = &NetReport{
+			Messages:      inj.net.messages,
+			Jittered:      inj.net.jittered,
+			JitterSeconds: inj.net.jitter.ToSeconds(),
+		}
+	}
+	return r
+}
+
+// Format renders the Degradation report section in the same tabular
+// style as the paper-figure sections.
+func (r *Report) Format() string {
+	var b strings.Builder
+	b.WriteString("Degradation (injected faults)\n")
+	fmt.Fprintf(&b, "%6s  %12s  %12s  %9s  %9s  %12s  %12s\n",
+		"node", "service s", "degraded s", "inflation", "deferred", "wait s", "wear s")
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&b, "%6d  %12.3f  %12.3f  %9.3f  %9d  %12.3f  %12.3f\n",
+			n.Node, n.ActualSeconds, n.DegradedSeconds, n.Inflation,
+			n.DeferredRequests, n.DeferredSeconds, n.WearExtraSeconds)
+	}
+	if r.Net != nil {
+		fmt.Fprintf(&b, "network: %d messages, %d jittered (+%.3f s)\n",
+			r.Net.Messages, r.Net.Jittered, r.Net.JitterSeconds)
+	}
+	return b.String()
+}

@@ -47,10 +47,25 @@ func IPSC860() Config {
 type Network struct {
 	k   *sim.Kernel
 	cfg Config
+	deg Degrader // nil on a healthy network
 
 	delivered int64 // messages delivered, for instrumentation
 	bytesSent int64
 }
+
+// Degrader adjusts a message's modeled latency (see internal/faults).
+// It receives the healthy latency components: software is startup plus
+// per-packet handling, perHop the per-hop unit, mask the XOR of the
+// endpoints' addresses (one set bit per cube dimension crossed),
+// extraHops the peripheral-link hops, and transfer the bandwidth cost.
+// A nil Degrader means healthy.
+type Degrader interface {
+	Latency(software, perHop sim.Time, mask uint32, extraHops int, transfer sim.Time) sim.Time
+}
+
+// SetDegrader installs a latency degrader on the network. Call it
+// before the simulation starts.
+func (n *Network) SetDegrader(d Degrader) { n.deg = d }
 
 // New returns a network on kernel k with the given configuration.
 func New(k *sim.Kernel, cfg Config) *Network {
@@ -108,11 +123,11 @@ func (n *Network) validate(id int) {
 	}
 }
 
-// Latency returns the modeled end-to-end time for a message of the
-// given payload size between two compute nodes. extraHops accounts for
-// peripheral links (an I/O or service node hangs one hop off its host
-// compute node).
-func (n *Network) latency(hops, extraHops, bytes int) sim.Time {
+// latency returns the modeled end-to-end time for a message of the
+// given payload size. mask is the XOR of the endpoints' addresses (the
+// cube links crossed); extraHops accounts for peripheral links (an I/O
+// or service node hangs one hop off its host compute node).
+func (n *Network) latency(mask uint32, extraHops, bytes int) sim.Time {
 	if bytes < 0 {
 		panic("hypercube: negative message size")
 	}
@@ -120,11 +135,13 @@ func (n *Network) latency(hops, extraHops, bytes int) sim.Time {
 	if packets == 0 {
 		packets = 1 // even empty messages occupy one packet
 	}
+	software := n.cfg.Startup + sim.Time(packets)*n.cfg.PerPacket
 	transfer := sim.Time(float64(bytes) / n.cfg.BytesPerSecond * float64(sim.Second))
-	return n.cfg.Startup +
-		sim.Time(hops+extraHops)*n.cfg.PerHop +
-		sim.Time(packets)*n.cfg.PerPacket +
-		transfer
+	if n.deg != nil {
+		return n.deg.Latency(software, n.cfg.PerHop, mask, extraHops, transfer)
+	}
+	hops := bits.OnesCount32(mask)
+	return software + sim.Time(hops+extraHops)*n.cfg.PerHop + transfer
 }
 
 // Latency returns the modeled delivery time for a message between
@@ -132,7 +149,7 @@ func (n *Network) latency(hops, extraHops, bytes int) sim.Time {
 func (n *Network) Latency(src, dst, bytes int) sim.Time {
 	n.validate(src)
 	n.validate(dst)
-	return n.latency(Hops(src, dst), 0, bytes)
+	return n.latency(uint32(src)^uint32(dst), 0, bytes)
 }
 
 // Send schedules deliver to run after the modeled latency of a
@@ -166,7 +183,7 @@ func (a *Attachment) Host() int { return a.host }
 // to this peripheral: the cube path to the host plus one peripheral hop.
 func (a *Attachment) LatencyFrom(src, bytes int) sim.Time {
 	a.net.validate(src)
-	return a.net.latency(Hops(src, a.host), 1, bytes)
+	return a.net.latency(uint32(src)^uint32(a.host), 1, bytes)
 }
 
 // SendTo schedules delivery of a message from compute node src to the

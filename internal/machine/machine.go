@@ -12,6 +12,8 @@ import (
 	"sort"
 
 	"repro/internal/cfs"
+	"repro/internal/disk"
+	"repro/internal/faults"
 	"repro/internal/hypercube"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -28,6 +30,10 @@ type Config struct {
 	MaxClockOffset   sim.Time // startup clock skew bound
 	MaxClockDriftPPM float64  // drift-rate bound
 	Seed             uint64
+	// Faults injects deterministic hardware degradation. The zero
+	// value builds a healthy machine with byte-identical behavior to a
+	// build that predates fault injection.
+	Faults faults.Config
 }
 
 // NASConfig returns the NAS facility configuration used throughout the
@@ -87,6 +93,7 @@ type Machine struct {
 	rng *stats.RNG
 
 	net         *hypercube.Network
+	injector    *faults.Injector // nil on a healthy machine
 	ioAttach    []*hypercube.Attachment
 	svcAttach   *hypercube.Attachment
 	fs          *cfs.FileSystem
@@ -167,6 +174,32 @@ func NewWith(k *sim.Kernel, cfg Config, arena *Arena) *Machine {
 	if arena != nil {
 		m.fs.SetArena(&arena.CFS)
 	}
+	if cfg.Faults.Enabled() {
+		if err := cfg.Faults.Validate(cfg.FS.IONodes, cfg.Net.Dim); err != nil {
+			panic(fmt.Sprintf("machine: %v", err))
+		}
+		// The injector splits its own RNG stream; Split does not
+		// consume m.rng's state, so the clock streams below are
+		// unchanged from a fault-free build.
+		m.injector = faults.NewInjector(cfg.Faults, cfg.FS.IONodes, m.rng)
+		if deg := m.injector.Net(); deg != nil {
+			m.net.SetDegrader(deg)
+		}
+		wear, worn := m.injector.DiskWear()
+		for i := 0; i < cfg.FS.IONodes; i++ {
+			if ns := m.injector.Node(i); ns != nil {
+				m.fs.IONode(i).SetFault(ns)
+			}
+			if worn {
+				m.fs.IONode(i).Disk().SetWear(disk.Wear{
+					SeekMul:     wear.SeekMultiplier,
+					TransferMul: wear.TransferMultiplier,
+					RampPerHour: wear.RampPerHour,
+					Now:         k.Now,
+				})
+			}
+		}
+	}
 
 	// Per-node drifting clocks; the collector's clock is the reference
 	// timebase (offset 0, drift 0), so corrected trace times are
@@ -240,6 +273,19 @@ func (m *Machine) FS() *cfs.FileSystem { return m.fs }
 
 // Network returns the interconnect.
 func (m *Machine) Network() *hypercube.Network { return m.net }
+
+// FaultReport returns the degradation summary for a faulted machine,
+// or nil when the machine ran healthy. Call it after the simulation.
+func (m *Machine) FaultReport() *faults.Report {
+	if m.injector == nil {
+		return nil
+	}
+	wearExtra := make([]sim.Time, m.cfg.FS.IONodes)
+	for i := range wearExtra {
+		wearExtra[i] = m.fs.IONode(i).Disk().WearExtra()
+	}
+	return m.injector.Report(wearExtra)
+}
 
 // Clock returns compute node n's local clock.
 func (m *Machine) Clock(n int) *DriftClock { return m.clocks[n] }

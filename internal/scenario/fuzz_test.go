@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/machine"
 )
 
 // FuzzScenarioParse is the decoder's robustness contract: for any
@@ -34,6 +36,14 @@ func FuzzScenarioParse(f *testing.F) {
 	f.Add([]byte(`{"version":1,"name":"x","cache":{"fig9":{"ioNodes":[1024],"buffers":[1]}}}`))
 	f.Add([]byte(`{"version":1,"name":"x","replay":{"traces":["../traces/smoke.trc"]}}`))
 	f.Add([]byte(`{"version":1,"name":"x","seeds":[1],"replay":{"traces":["a.trc"]}}`))
+	f.Add([]byte(`{"version":1,"name":"x","faults":{"version":1,"ioNodes":[{"node":3,"startHours":0,"endHours":1,"slowdown":4}]}}`))
+	f.Add([]byte(`{"version":1,"name":"x","faults":{"version":1,"ioNodes":[{"node":1,"startHours":1,"endHours":2,"outage":true}]}}`))
+	f.Add([]byte(`{"version":1,"name":"x","faults":{"version":1,"disk":{"seekMultiplier":1.5,"transferMultiplier":1.5,"rampPerHour":0.25}}}`))
+	f.Add([]byte(`{"version":1,"name":"x","faults":{"version":1,"network":{"latencyMultiplier":2,"bandwidthDivisor":2,"jitterMicros":100,"links":[{"dim":1,"latencyMultiplier":3}]}}}`))
+	f.Add([]byte(`{"version":1,"name":"x","faults":{"version":1,"hotNode":{"node":0,"multiplier":2}}}`))
+	f.Add([]byte(`{"version":1,"name":"x","faults":{"version":1,"ioNodes":[{"node":0,"startHours":1e308,"endHours":-1e308,"slowdown":1e308}]}}`))
+	f.Add([]byte(`{"version":1,"name":"x","machines":["mini"],"faults":{"version":1,"ioNodes":[{"node":9,"endHours":1,"slowdown":2}]}}`))
+	f.Add([]byte(`{"version":1,"name":"x","replay":{"traces":["a.trc"]},"faults":{"version":1}}`))
 	f.Add([]byte(`{"version":-1}`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`[]`))
@@ -61,6 +71,24 @@ func FuzzScenarioParse(f *testing.F) {
 		for _, sc := range spec.ScaleList() {
 			if !(sc >= MinScale && sc <= 1) {
 				t.Fatalf("validated spec carries scale %v", sc)
+			}
+		}
+		// A surviving faults config must be a real one: enabled (empty
+		// blocks normalize to nil) and valid on every machine it will
+		// be stamped onto.
+		if fc := spec.FaultsConfig(); fc != nil {
+			if !fc.Enabled() {
+				t.Fatal("validated spec carries a disabled faults config")
+			}
+			for _, m := range spec.MachineList() {
+				mc := m.Config
+				if mc == nil { // default machine axis: NAS
+					nas := machine.NASConfig(0)
+					mc = &nas
+				}
+				if err := fc.Validate(mc.FS.IONodes, mc.Net.Dim); err != nil {
+					t.Fatalf("validated spec carries faults invalid on %s: %v", m.Name, err)
+				}
 			}
 		}
 		// Re-validating must be idempotent.

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/cachesim"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/workload"
 )
@@ -94,6 +95,12 @@ type Spec struct {
 	// declares no seed/scale/workload/machine axes.
 	Replay *ReplaySpec `json:"replay,omitempty"`
 
+	// Faults injects deterministic hardware degradation into every
+	// study of the scenario (see internal/faults for the schema).
+	// Absent means a healthy machine; replay scenarios take no faults
+	// block (a recorded trace's timing is already fixed).
+	Faults *faults.Spec `json:"faults,omitempty"`
+
 	// Cache selects trace-driven cache experiments to run on every
 	// study's event stream.
 	Cache *CacheSpec `json:"cache,omitempty"`
@@ -102,6 +109,7 @@ type Spec struct {
 	machines []ResolvedMachine
 	mixes    []ResolvedMix
 	cache    *ResolvedCache
+	faults   *faults.Config
 
 	// baseDir resolves relative replay paths; set by Load to the spec
 	// file's directory, empty for specs parsed from bytes (paths then
@@ -299,6 +307,9 @@ func (s *Spec) Validate() error {
 		if len(s.Seeds) > 0 || len(s.Scales) > 0 || len(s.Workloads) > 0 || len(s.Machines) > 0 {
 			return fmt.Errorf("scenario %s: replay scenarios take no seeds/scales/workloads/machines axes (the recorded traces fix them)", s.Name)
 		}
+		if s.Faults != nil {
+			return fmt.Errorf("scenario %s: replay scenarios take no faults block (a recorded trace's timing is already fixed)", s.Name)
+		}
 		if len(s.Replay.Traces) == 0 {
 			return fmt.Errorf("scenario %s: replay lists no trace files", s.Name)
 		}
@@ -366,6 +377,33 @@ func (s *Spec) Validate() error {
 	}
 	if n := seeds * scales * len(s.mixes) * len(s.machines); n > maxStudies {
 		return fmt.Errorf("scenario %s: %d studies (seeds x scales x workloads x machines, max %d)", s.Name, n, maxStudies)
+	}
+
+	// Faults block: resolved once, then checked against the shape of
+	// every machine on the axis (a fault naming I/O node 7 cannot run
+	// on a 4-I/O-node preset).
+	s.faults = nil
+	if s.Faults != nil {
+		fc, err := s.Faults.Resolve()
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		for _, rm := range s.machines {
+			mc := rm.Config
+			if mc == nil {
+				nas := machine.NASConfig(0)
+				mc = &nas
+			}
+			if err := fc.Validate(mc.FS.IONodes, mc.Net.Dim); err != nil {
+				return fmt.Errorf("scenario %s (machine %s): %w", s.Name, rm.Name, err)
+			}
+		}
+		// An empty faults block injects nothing: resolve it to "no
+		// faults" so it is indistinguishable from an absent block all
+		// the way down (including run-store fingerprints).
+		if fc.Enabled() {
+			s.faults = &fc
+		}
 	}
 
 	// Cache experiments.
@@ -573,6 +611,11 @@ func (s *Spec) MixList() []ResolvedMix { return s.mixes }
 // the scenario runs no cache experiments. Validate must have
 // succeeded.
 func (s *Spec) CachePlan() *ResolvedCache { return s.cache }
+
+// FaultsConfig returns the validated fault-injection configuration,
+// or nil when the scenario runs healthy. Validate must have
+// succeeded.
+func (s *Spec) FaultsConfig() *faults.Config { return s.faults }
 
 // Studies returns the number of studies the scenario will run: one
 // per replay trace, or the full simulation cross product.

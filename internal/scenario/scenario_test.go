@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/cachesim"
+	"repro/internal/faults"
 )
 
 // minimal returns a valid minimal spec body.
@@ -286,5 +287,83 @@ func TestParseReplayRejections(t *testing.T) {
 	body := `{"version":1,"name":"r","replay":{"traces":[` + strings.Join(many, ",") + `]}}`
 	if _, err := Parse([]byte(body)); err == nil {
 		t.Error("33 traces accepted (max 32)")
+	}
+}
+
+// TestParseFaults: the faults block resolves, validates against every
+// machine on the axis, rejects malformed fields by name, and an empty
+// block normalizes to "no faults".
+func TestParseFaults(t *testing.T) {
+	good := `{"version":1,"name":"f","faults":{"version":1,
+		"ioNodes":[{"node":3,"startHours":0,"endHours":1,"slowdown":4}],
+		"disk":{"seekMultiplier":1.5},
+		"network":{"jitterMicros":100,"links":[{"dim":2,"latencyMultiplier":2}]},
+		"hotNode":{"node":0,"multiplier":2}}}`
+	spec, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := spec.FaultsConfig()
+	if fc == nil || !fc.Enabled() {
+		t.Fatalf("faults config = %+v", fc)
+	}
+	if len(fc.Windows) != 1 || fc.Windows[0].Slowdown != 4 {
+		t.Fatalf("windows = %+v", fc.Windows)
+	}
+
+	empty := `{"version":1,"name":"f","faults":{"version":1}}`
+	spec, err = Parse([]byte(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.FaultsConfig() != nil {
+		t.Fatal("empty faults block resolved to a non-nil config")
+	}
+
+	cases := []struct {
+		name, body, want string
+	}{
+		{"no-version", `{"version":1,"name":"f","faults":{}}`, "version"},
+		{"future-version", `{"version":1,"name":"f","faults":{"version":2}}`, "version 2"},
+		{"unknown-field", `{"version":1,"name":"f","faults":{"version":1,"cosmic":true}}`, "cosmic"},
+		{"node-range", `{"version":1,"name":"f","faults":{"version":1,"ioNodes":[{"node":99,"endHours":1,"slowdown":2}]}}`, "node"},
+		{"inverted-window", `{"version":1,"name":"f","faults":{"version":1,"ioNodes":[{"node":0,"startHours":2,"endHours":1,"slowdown":2}]}}`, "endHours"},
+		{"negative-start", `{"version":1,"name":"f","faults":{"version":1,"ioNodes":[{"node":0,"startHours":-1,"endHours":1,"slowdown":2}]}}`, "startHours"},
+		{"sub-unit-slowdown", `{"version":1,"name":"f","faults":{"version":1,"ioNodes":[{"node":0,"endHours":1,"slowdown":0.5}]}}`, "slowdown"},
+		{"outage-and-slowdown", `{"version":1,"name":"f","faults":{"version":1,"ioNodes":[{"node":0,"endHours":1,"outage":true,"slowdown":2}]}}`, "outage"},
+		{"negative-seek", `{"version":1,"name":"f","faults":{"version":1,"disk":{"seekMultiplier":-1}}}`, "seekMultiplier"},
+		{"negative-ramp", `{"version":1,"name":"f","faults":{"version":1,"disk":{"rampPerHour":-0.5}}}`, "rampPerHour"},
+		{"huge-jitter", `{"version":1,"name":"f","faults":{"version":1,"network":{"jitterMicros":1e12}}}`, "jitterMicros"},
+		{"link-dim-range", `{"version":1,"name":"f","faults":{"version":1,"network":{"links":[{"dim":40,"latencyMultiplier":2}]}}}`, "dim"},
+		{"dup-link-dim", `{"version":1,"name":"f","faults":{"version":1,"network":{"links":[{"dim":1,"latencyMultiplier":2},{"dim":1,"latencyMultiplier":3}]}}}`, "repeats dim"},
+		{"hot-node-range", `{"version":1,"name":"f","faults":{"version":1,"hotNode":{"node":-1,"multiplier":2}}}`, "hotNode"},
+		{"replay-faults", `{"version":1,"name":"f","replay":{"traces":["a.trc"]},"faults":{"version":1,"hotNode":{"node":0,"multiplier":2}}}`, "replay"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// Shape validation runs against every machine on the axis: node 5
+	// exists on nas (10 I/O nodes) but not on mini (4).
+	multi := `{"version":1,"name":"f","machines":["nas","mini"],
+		"faults":{"version":1,"ioNodes":[{"node":5,"endHours":1,"slowdown":2}]}}`
+	if _, err := Parse([]byte(multi)); err == nil || !strings.Contains(err.Error(), "mini") {
+		t.Fatalf("node 5 on mini accepted: %v", err)
+	}
+
+	// A hand-built spec can carry NaN (JSON cannot); Validate must
+	// reject it on the fault fields too.
+	nan := &Spec{Version: 1, Name: "f", Faults: &faults.Spec{
+		Version: 1, IONodes: []faults.WindowSpec{{Node: 0, EndHours: 1, Slowdown: math.NaN()}}}}
+	if err := nan.Validate(); err == nil {
+		t.Fatal("NaN slowdown accepted")
 	}
 }
