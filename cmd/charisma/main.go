@@ -10,6 +10,7 @@
 //	charisma -sweep [-seeds 1-32] [-scales 0.05,0.1] [-workers 0]
 //	charisma -scenario testdata/scenarios/fig8.json [-workers 0]
 //	charisma -sweep|-scenario ... -out runs/full [-worker-id w1] [-lease-ttl 30s]
+//	charisma serve -addr :8080 -out runs/cache [-jobs 2] [-queue 16]
 //
 // With -fig or -table only that figure or table is printed; -report
 // (the default) prints everything. Figures 1-7 come straight from the
@@ -57,6 +58,18 @@
 // partition remains for compatibility and conflicts with
 // -worker-id/-lease-ttl. See the README's "Distributed runs"
 // section.
+//
+// `charisma serve` runs the simulation-as-a-service daemon (see
+// internal/serve and the README's "Serving" section): POST a scenario
+// spec to /v1/jobs, follow its progress over server-sent events, and
+// fetch the finished report -- byte-identical to -scenario output --
+// as plain text. The -out directory doubles as a content-addressed
+// result cache shared across restarts and server processes.
+//
+// Every mode shuts down cleanly on SIGINT/SIGTERM: sweeps and
+// scenarios stop after their in-flight studies with all store leases
+// released (committed outcomes stay resumable), the server drains,
+// and profiles flush. A second signal kills immediately.
 package main
 
 import (
@@ -66,16 +79,21 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/scenario"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -89,6 +107,24 @@ func main() {
 // os.Args[1:], output goes to stdout/stderr, and the return value is
 // the process exit code.
 func appMain(argv []string, stdout, stderr io.Writer) int {
+	// SIGINT/SIGTERM cancel this context instead of killing the
+	// process outright: store runs release their lease claims, the
+	// server drains, and the deferred profile stop below still flushes
+	// (signals used to corrupt -cpuprofile files exactly the way bare
+	// error exits once did). After the first signal the handler is
+	// unregistered, so a second signal falls back to the default
+	// disposition and kills a run that refuses to wind down.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
+	if len(argv) > 0 && argv[0] == "serve" {
+		return serveMain(ctx, argv[1:], stdout, stderr)
+	}
+
 	fs := flag.NewFlagSet("charisma", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scale := fs.Float64("scale", 0.1, "study scale; 1.0 reproduces the full 156-hour study")
@@ -123,11 +159,11 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	// path, including errors, or the profile files are corrupt.
 	defer stop()
 
-	if err := run(appConfig{
+	if err := run(ctx, appConfig{
 		scale: *scale, seed: *seed, fig: *fig, table: *table, report: *report,
 		traceOut: *traceOut, sweep: *sweep, scenarioPath: *scenarioPath,
 		faultsPreset: *faultsPreset,
-		seeds: *seeds, scales: *scales, workers: *workers,
+		seeds:        *seeds, scales: *scales, workers: *workers,
 		outDir: *outDir, shardSpec: *shardSpec, resume: *resume,
 		workerID: *workerID, leaseTTL: *leaseTTL,
 	}, stdout, stderr); err != nil {
@@ -158,13 +194,39 @@ type appConfig struct {
 }
 
 // run dispatches to the selected mode. Every failure returns an
-// error; nothing below this point may exit the process.
-func run(cfg appConfig, stdout, stderr io.Writer) error {
+// error; nothing below this point may exit the process. ctx is
+// cancelled by SIGINT/SIGTERM; every mode winds down cleanly on it.
+func run(ctx context.Context, cfg appConfig, stdout, stderr io.Writer) error {
 	// The -scale flag feeds every mode; reject garbage before any
 	// simulation starts. (NaN slips through ordered comparisons, so
 	// the explicit check matters.)
 	if math.IsNaN(cfg.scale) || math.IsInf(cfg.scale, 0) || cfg.scale <= 0 {
 		return fmt.Errorf("bad -scale %v (want a finite scale > 0)", cfg.scale)
+	}
+	if cfg.sweep && cfg.scenarioPath != "" {
+		return errors.New("-sweep conflicts with -scenario: pick one mode (a scenario declares its own axes)")
+	}
+	if cfg.sweep || cfg.scenarioPath != "" {
+		// These flags shape single-study output only. They used to be
+		// silently ignored here -- `charisma -sweep -trace out.trc`
+		// wrote nothing and said nothing -- so the conflict is a hard
+		// error naming both flags, like -faults/-scenario.
+		mode := "-sweep"
+		if cfg.scenarioPath != "" {
+			mode = "-scenario"
+		}
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"-trace", cfg.traceOut != ""},
+			{"-fig", cfg.fig != 0},
+			{"-table", cfg.table != 0},
+		} {
+			if f.set {
+				return fmt.Errorf("%s conflicts with %s: it applies only to the single-study mode", f.name, mode)
+			}
+		}
 	}
 	store, useStore, err := parseStore(cfg)
 	if err != nil {
@@ -186,21 +248,33 @@ func run(cfg appConfig, stdout, stderr io.Writer) error {
 	store.Log = stderr
 	switch {
 	case cfg.scenarioPath != "":
-		return runScenario(stdout, stderr, cfg.scenarioPath, cfg.workers, store, useStore)
+		return runScenario(ctx, stdout, stderr, cfg.scenarioPath, cfg.workers, store, useStore)
 	case cfg.sweep:
-		return runSweep(stdout, stderr, cfg, faultsCfg, store, useStore)
+		return runSweep(ctx, stdout, stderr, cfg, faultsCfg, store, useStore)
 	case useStore:
 		return errors.New("-out/-shard/-resume apply only to -sweep and -scenario runs")
 	}
-	return runStudy(stdout, stderr, cfg, faultsCfg)
+	return runStudy(ctx, stdout, stderr, cfg, faultsCfg)
 }
 
 // runStudy is the single-study mode: the paper's figures and tables,
 // plus the Figure 8/9 cache simulations on the study's own trace.
-func runStudy(stdout, stderr io.Writer, cfg appConfig, faultsCfg *faults.Config) error {
+// The study itself is one indivisible simulation, so a signal does
+// not pause it mid-event; instead the study is abandoned and the
+// process exits promptly with its profiles flushed (the whole point
+// of handling the signal) rather than running out a possibly
+// hours-long horizon first.
+func runStudy(ctx context.Context, stdout, stderr io.Writer, cfg appConfig, faultsCfg *faults.Config) error {
 	studyCfg := core.DefaultConfig(cfg.seed, cfg.scale)
 	studyCfg.Faults = faultsCfg
-	res := core.RunStudy(studyCfg)
+	resCh := make(chan *core.Result, 1)
+	go func() { resCh <- core.RunStudy(studyCfg) }()
+	var res *core.Result
+	select {
+	case res = <-resCh:
+	case <-ctx.Done():
+		return fmt.Errorf("interrupted: %w", ctx.Err())
+	}
 
 	if cfg.traceOut != "" {
 		f, err := os.Create(cfg.traceOut)
@@ -342,7 +416,7 @@ func parseShard(spec string) (shard, numShards int, err error) {
 // printing the deterministic report on stdout and timing on stderr.
 // With a store, only this shard's pending studies execute, and the
 // merged report prints once every study's outcome file exists.
-func runScenario(stdout, stderr io.Writer, path string, workers int, store core.StoreConfig, useStore bool) error {
+func runScenario(ctx context.Context, stdout, stderr io.Writer, path string, workers int, store core.StoreConfig, useStore bool) error {
 	spec, err := scenario.Load(path)
 	if err != nil {
 		return err
@@ -351,7 +425,7 @@ func runScenario(stdout, stderr io.Writer, path string, workers int, store core.
 		spec.Workers = workers
 	}
 	if !useStore {
-		res, err := core.RunScenario(context.Background(), spec)
+		res, err := core.RunScenario(ctx, spec)
 		if err != nil {
 			return err
 		}
@@ -360,11 +434,14 @@ func runScenario(stdout, stderr io.Writer, path string, workers int, store core.
 			spec.Name, len(res.Sweep.Outcomes), res.Sweep.Workers, res.Sweep.Elapsed.Round(1e6))
 		return nil
 	}
-	run, err := core.RunScenarioStore(context.Background(), spec, store)
+	run, err := core.RunScenarioStore(ctx, spec, store)
 	if err != nil {
 		return err
 	}
 	reportStoreRun(stderr, "scenario "+spec.Name, store, run.Run, len(run.Merge.Missing), len(run.Merge.Result.Outcomes))
+	if run.Run.Err != nil {
+		return interrupted(run.Run.Err, store.Dir)
+	}
 	if run.Result == nil {
 		return nil
 	}
@@ -372,10 +449,98 @@ func runScenario(stdout, stderr io.Writer, path string, workers int, store core.
 	return nil
 }
 
+// interrupted describes a store run stopped by a signal: leases are
+// already released and committed outcomes resume on the next run.
+func interrupted(cause error, dir string) error {
+	return fmt.Errorf("interrupted (%v): leases released, committed outcomes kept; rerun with -out %s to resume", cause, dir)
+}
+
+// serveMain is the `charisma serve` subcommand: it binds the HTTP
+// daemon to -addr, backs it with the content-addressed run store at
+// -out, and runs until ctx is cancelled by SIGINT/SIGTERM. Shutdown
+// is graceful: intake stops (new submissions get 503), in-flight
+// studies finish and commit, leases release, and open SSE streams
+// receive their terminal events before the listener closes -- all
+// within the -drain budget.
+func serveMain(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("charisma serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address, host:port")
+	outDir := fs.String("out", "", "run-store directory backing the result cache (required)")
+	jobs := fs.Int("jobs", 2, "jobs simulating concurrently")
+	queue := fs.Int("queue", 16, "queued jobs accepted beyond the executing ones before 429")
+	leaseTTL := fs.Duration("lease-ttl", 0, "store work-claim lease time-to-live (default 30s)")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown budget for in-flight jobs to finish")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "charisma serve: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if *outDir == "" {
+		fmt.Fprintln(stderr, "charisma serve: -out is required (the run directory doubles as the result cache)")
+		return 2
+	}
+	if *leaseTTL < 0 {
+		fmt.Fprintf(stderr, "charisma serve: bad -lease-ttl %v (want a positive duration)\n", *leaseTTL)
+		return 2
+	}
+
+	srv, err := serve.New(serve.Config{
+		Dir:      *outDir,
+		Jobs:     *jobs,
+		Queue:    *queue,
+		LeaseTTL: *leaseTTL,
+		Log:      stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "charisma serve:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "charisma serve:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stderr, "charisma serve: listening on %s (store %s, %d jobs, queue %d)\n",
+		ln.Addr(), *outDir, *jobs, *queue)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener failed underneath us; the jobs are still worth
+		// draining so committed outcomes stay resumable.
+		fmt.Fprintln(stderr, "charisma serve:", err)
+		srv.Shutdown(context.Background())
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stderr, "charisma serve: signal received; draining (budget %v)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Order matters: drain the job engine first so open SSE streams see
+	// their terminal events, then close the HTTP side, which waits for
+	// those streams to unwind.
+	srv.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+		fmt.Fprintln(stderr, "charisma serve:", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "charisma serve: drained; all leases released")
+	return 0
+}
+
 // runSweep executes the multi-study mode and prints the aggregate
 // report (deterministic) on stdout and timing (not) on stderr. With
 // a store the same resumable-shard protocol as scenarios applies.
-func runSweep(stdout, stderr io.Writer, cfg appConfig, faultsCfg *faults.Config, store core.StoreConfig, useStore bool) error {
+func runSweep(ctx context.Context, stdout, stderr io.Writer, cfg appConfig, faultsCfg *faults.Config, store core.StoreConfig, useStore bool) error {
 	seedList, err := parseSeeds(cfg.seeds, cfg.seed)
 	if err != nil {
 		return err
@@ -395,7 +560,7 @@ func runSweep(stdout, stderr io.Writer, cfg appConfig, faultsCfg *faults.Config,
 	}
 	sweepCfg := core.SweepConfig{Specs: specs, Workers: cfg.workers}
 	if !useStore {
-		res := core.RunSweep(context.Background(), sweepCfg)
+		res := core.RunSweep(ctx, sweepCfg)
 		if res.Err != nil {
 			return res.Err
 		}
@@ -405,7 +570,7 @@ func runSweep(stdout, stderr io.Writer, cfg appConfig, faultsCfg *faults.Config,
 			float64(len(res.Outcomes))/res.Elapsed.Seconds())
 		return nil
 	}
-	run, err := core.RunSweepStore(context.Background(), sweepCfg, store)
+	run, err := core.RunSweepStore(ctx, sweepCfg, store)
 	if err != nil {
 		return err
 	}
@@ -414,6 +579,9 @@ func runSweep(stdout, stderr io.Writer, cfg appConfig, faultsCfg *faults.Config,
 		return err
 	}
 	reportStoreRun(stderr, "sweep", store, run, len(merge.Missing), len(specs))
+	if run.Err != nil {
+		return interrupted(run.Err, store.Dir)
+	}
 	if len(merge.Missing) > 0 {
 		return nil
 	}

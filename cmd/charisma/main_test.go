@@ -2,11 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"repro/internal/serve"
 )
 
 // TestParseSeeds covers the seed grammar: values, ranges, and the
@@ -249,5 +258,203 @@ func TestWorkStealingCLI(t *testing.T) {
 	}
 	if code, _, stderr = app("-sweep", "-lease-ttl", "5s"); code == 0 || !strings.Contains(stderr, "-lease-ttl requires -out") {
 		t.Fatalf("-lease-ttl without -out: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestModeFlagConflicts pins the silently-ignored-flag fix: -trace,
+// -fig, and -table shape single-study output only, so combining them
+// with -sweep or -scenario is a hard error naming both flags (the
+// old behavior wrote nothing and said nothing).
+func TestModeFlagConflicts(t *testing.T) {
+	cases := []struct {
+		args       []string
+		flag, mode string
+	}{
+		{[]string{"-sweep", "-trace", "out.trc"}, "-trace", "-sweep"},
+		{[]string{"-sweep", "-fig", "8"}, "-fig", "-sweep"},
+		{[]string{"-sweep", "-table", "1"}, "-table", "-sweep"},
+		{[]string{"-scenario", "x.json", "-trace", "out.trc"}, "-trace", "-scenario"},
+		{[]string{"-scenario", "x.json", "-fig", "8"}, "-fig", "-scenario"},
+		{[]string{"-scenario", "x.json", "-table", "1"}, "-table", "-scenario"},
+		{[]string{"-sweep", "-scenario", "x.json"}, "-sweep", "-scenario"},
+	}
+	for _, tc := range cases {
+		code, out, stderr := app(tc.args...)
+		if code == 0 {
+			t.Errorf("%v accepted", tc.args)
+			continue
+		}
+		if !strings.Contains(stderr, tc.flag) || !strings.Contains(stderr, tc.mode) {
+			t.Errorf("%v error %q does not name both %s and %s", tc.args, stderr, tc.flag, tc.mode)
+		}
+		if out != "" {
+			t.Errorf("%v printed output despite the conflict:\n%s", tc.args, out)
+		}
+	}
+}
+
+// TestServeFlagValidation covers the serve subcommand's own flag
+// errors: the store directory is mandatory and bad values are exit 2
+// before any socket is opened.
+func TestServeFlagValidation(t *testing.T) {
+	if code, _, stderr := app("serve"); code != 2 || !strings.Contains(stderr, "-out is required") {
+		t.Fatalf("serve without -out: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := app("serve", "-out", t.TempDir(), "-lease-ttl", "-5s"); code != 2 {
+		t.Fatal("serve accepted a negative -lease-ttl")
+	}
+	if code, _, stderr := app("serve", "-out", t.TempDir(), "stray"); code != 2 || !strings.Contains(stderr, "stray") {
+		t.Fatalf("serve with a stray argument: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := app("serve", "-addr", "999.999.999.999:1", "-out", t.TempDir()); code != 1 {
+		t.Fatal("serve accepted an unlistenable address")
+	}
+}
+
+// TestServeMatchesCLI is the acceptance pin for the daemon: a corpus
+// scenario served over HTTP returns report bytes identical to the
+// one-shot CLI, and resubmitting it is answered from the store as a
+// cache hit.
+func TestServeMatchesCLI(t *testing.T) {
+	specPath := filepath.Join("..", "..", "testdata", "scenarios", "tiny-smoke.json")
+	code, cliOut, stderr := app("-scenario", specPath)
+	if code != 0 {
+		t.Fatalf("CLI scenario exit %d, stderr %q", code, stderr)
+	}
+	body, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	submit := func() serve.Status {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st serve.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := submit()
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != serve.StateDone && st.State != serve.StateFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck at %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.State != serve.StateDone {
+		t.Fatalf("job ended %+v", st)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(served) != cliOut {
+		t.Fatalf("HTTP report differs from `charisma -scenario` (%d vs %d bytes):\n%s",
+			len(served), len(cliOut), served)
+	}
+
+	// The identical spec again: coalesced onto the finished job --
+	// answered instantly, nothing re-simulated. (The across-restart
+	// store-cache path, where Cached is set, is pinned in
+	// internal/serve's suite.)
+	if st2 := submit(); st2.ID != st.ID || st2.State != serve.StateDone {
+		t.Fatalf("resubmission not answered from the finished job: %+v", st2)
+	}
+}
+
+// TestSignalInterruptReleasesLeases pins the signal-handling fix
+// end-to-end, in-process: SIGINT mid-sweep stops the run after its
+// in-flight study, releases every lease claim, reports the interrupt,
+// and leaves the directory resumable to byte-identical output.
+func TestSignalInterruptReleasesLeases(t *testing.T) {
+	args := []string{"-sweep", "-seeds", "1-32", "-scales", "0.01", "-workers", "1"}
+	code, single, stderr := app(args...)
+	if code != 0 {
+		t.Fatalf("plain sweep exit %d, stderr %q", code, stderr)
+	}
+
+	dir := t.TempDir()
+	type result struct {
+		code           int
+		stdout, stderr string
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		code, out, errOut := app(append(args, "-out", dir)...)
+		resCh <- result{code, out, errOut}
+	}()
+
+	// Wait for the first committed outcome so the signal lands
+	// mid-run, then interrupt our own process; appMain's handler turns
+	// it into a context cancel instead of process death.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		outcomes, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+		committed := 0
+		for _, p := range outcomes {
+			if filepath.Base(p) != "manifest.json" {
+				committed++
+			}
+		}
+		if committed >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no outcome committed within the deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	res := <-resCh
+	if res.code == 0 {
+		t.Fatalf("interrupted sweep exited 0; stderr %q", res.stderr)
+	}
+	if !strings.Contains(res.stderr, "interrupted") || !strings.Contains(res.stderr, dir) {
+		t.Fatalf("stderr does not report the interrupt and the resume directory: %q", res.stderr)
+	}
+	if res.stdout != "" {
+		t.Fatalf("interrupted run printed a partial report:\n%s", res.stdout)
+	}
+	if leases, _ := filepath.Glob(filepath.Join(dir, "*.lease")); len(leases) != 0 {
+		t.Fatalf("leases survived the signal: %v", leases)
+	}
+
+	// Resume drains the remainder and prints the identical report.
+	code, out, stderr := app(append(args, "-out", dir)...)
+	if code != 0 {
+		t.Fatalf("resume exit %d, stderr %q", code, stderr)
+	}
+	if out != single {
+		t.Fatalf("resumed sweep differs from the uninterrupted run (%d vs %d bytes)", len(out), len(single))
 	}
 }

@@ -98,6 +98,35 @@ type StoreConfig struct {
 	// merge (the scenario engine stores its per-study cache-experiment
 	// text this way).
 	AuxText func(i int) string
+	// Progress, when non-nil, is called once per spec as this run
+	// learns its outcome exists: found already committed at open
+	// (StoreSpecSkipped), committed by this process (StoreSpecRan), or
+	// observed landing from another worker sharing the directory
+	// (StoreSpecObserved). Calls arrive from worker goroutines
+	// concurrently and must not block for long -- the serve daemon
+	// streams them to clients as job progress events.
+	Progress func(StoreProgress)
+}
+
+// Spec-progress states, in StoreProgress.State.
+const (
+	StoreSpecSkipped  = "skipped"  // outcome existed when this run opened the store
+	StoreSpecRan      = "ran"      // executed and committed by this process
+	StoreSpecObserved = "observed" // committed by another worker while this run waited
+)
+
+// StoreProgress is one job-granular progress notification from a
+// store run: spec Index's outcome is now known to exist, bringing the
+// run to Done of Total committed outcomes.
+type StoreProgress struct {
+	Index int    // spec index within the run's spec list
+	Label string // the spec's report label
+	Done  int    // outcomes known committed, including this one
+	Total int    // specs in the run
+	State string // StoreSpecSkipped, StoreSpecRan, or StoreSpecObserved
+	// Reclaimed marks a StoreSpecRan spec whose claim was taken over
+	// from an expired lease.
+	Reclaimed bool
 }
 
 // normalized returns the store config with defaults filled in, or an
@@ -434,17 +463,43 @@ func runStore(ctx context.Context, workers int, store StoreConfig, labels, fps [
 	}
 	sweepStale(store)
 	if store.NumShards > 1 {
-		return runStaticStore(ctx, workers, store, fps, exec)
+		return runStaticStore(ctx, workers, store, labels, fps, exec)
 	}
-	return runLeaseStore(ctx, workers, store, fps, costs, exec)
+	return runLeaseStore(ctx, workers, store, labels, fps, costs, exec)
+}
+
+// progressTracker counts known-committed outcomes across worker
+// goroutines and fires the store's Progress callback exactly once per
+// spec transition.
+type progressTracker struct {
+	store  StoreConfig
+	labels []string
+	total  int
+	done   atomic.Int64
+}
+
+// emit records one spec's outcome becoming known and notifies the
+// callback. Callers guarantee exactly-once per spec (the committed
+// flags' compare-and-swap).
+func (p *progressTracker) emit(i int, state string, reclaimed bool) {
+	done := int(p.done.Add(1))
+	if p.store.Progress == nil {
+		return
+	}
+	p.store.Progress(StoreProgress{
+		Index: i, Label: p.labels[i],
+		Done: done, Total: p.total,
+		State: state, Reclaimed: reclaimed,
+	})
 }
 
 // runStaticStore is the deprecated PR 5 executor: this process runs
 // exactly its round-robin slice of the pending specs and returns
 // without waiting for other shards.
-func runStaticStore(ctx context.Context, workers int, store StoreConfig, fps []string,
+func runStaticStore(ctx context.Context, workers int, store StoreConfig, labels, fps []string,
 	exec func(worker, specIdx int) (StudyOutcome, string, string, error)) (*StoreRun, error) {
 	run := &StoreRun{}
+	prog := &progressTracker{store: store, labels: labels, total: len(fps)}
 	var mine []int
 	for i := range fps {
 		if i%store.NumShards != store.Shard {
@@ -452,6 +507,7 @@ func runStaticStore(ctx context.Context, workers int, store StoreConfig, fps []s
 		}
 		if _, err := os.Stat(outcomePath(store.Dir, fps[i])); err == nil {
 			run.Skipped = append(run.Skipped, i)
+			prog.emit(i, StoreSpecSkipped, false)
 			continue
 		}
 		mine = append(mine, i)
@@ -470,6 +526,7 @@ func runStaticStore(ctx context.Context, workers int, store StoreConfig, fps []s
 			return
 		}
 		done[j] = true
+		prog.emit(i, StoreSpecRan, false)
 	})
 	run.Elapsed = time.Since(start)
 	run.Err = ctx.Err()
@@ -498,20 +555,24 @@ func runStaticStore(ctx context.Context, workers int, store StoreConfig, fps []s
 // (a presumed-dead worker waking up) commits byte-identical outcomes
 // via atomic rename, so the merge guarantee never depends on the
 // lease protocol being airtight.
-func runLeaseStore(ctx context.Context, workers int, store StoreConfig, fps []string, costs []float64,
+func runLeaseStore(ctx context.Context, workers int, store StoreConfig, labels, fps []string, costs []float64,
 	exec func(worker, specIdx int) (StudyOutcome, string, string, error)) (*StoreRun, error) {
 	order := costOrder(costs)
 	n := len(fps)
 	run := &StoreRun{}
+	prog := &progressTracker{store: store, labels: labels, total: n}
 	start := time.Now()
 
 	// committed[i] memoizes "outcome i exists" so each worker pass
-	// stats only still-pending specs.
+	// stats only still-pending specs. Transitions go through
+	// CompareAndSwap so the progress tracker fires exactly once per
+	// spec even when two workers observe the same commit.
 	committed := make([]atomic.Bool, n)
 	for i := range fps {
 		if _, err := os.Stat(outcomePath(store.Dir, fps[i])); err == nil {
 			committed[i].Store(true)
 			run.Skipped = append(run.Skipped, i)
+			prog.emit(i, StoreSpecSkipped, false)
 		}
 	}
 
@@ -558,7 +619,9 @@ func runLeaseStore(ctx context.Context, workers int, store StoreConfig, fps []st
 						continue
 					}
 					if _, err := os.Stat(outcomePath(store.Dir, fps[i])); err == nil {
-						committed[i].Store(true)
+						if committed[i].CompareAndSwap(false, true) {
+							prog.emit(i, StoreSpecObserved, false)
+						}
 						continue
 					}
 					pending = true
@@ -584,7 +647,9 @@ func runLeaseStore(ctx context.Context, workers int, store StoreConfig, fps []st
 						fail(err)
 						return
 					}
-					committed[i].Store(true)
+					if committed[i].CompareAndSwap(false, true) {
+						prog.emit(i, StoreSpecRan, reclaimed)
+					}
 					progress = true
 					mu.Lock()
 					run.Ran = append(run.Ran, i)
@@ -819,79 +884,41 @@ type ScenarioStoreRun struct {
 // and the merged result is reconstructed from the run directory.
 // Replay scenarios shard over their trace files the same way.
 func RunScenarioStore(ctx context.Context, spec *scenario.Spec, store StoreConfig) (*ScenarioStoreRun, error) {
-	if spec == nil {
-		return nil, errors.New("core: nil scenario spec")
-	}
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	store, err := store.normalized()
+	store, keys, err := scenarioStoreKeys(spec, store)
 	if err != nil {
 		return nil, err
 	}
-	if store.AuxText != nil {
-		return nil, errors.New("core: store: AuxText is owned by the scenario lowering")
-	}
 	plan := spec.CachePlan()
-	// The cache plan shapes each study's persisted text but is not
-	// part of the StudySpec, so fold it into the fingerprint salt:
-	// editing a spec's cache grid between runs then surfaces as a
-	// manifest mismatch instead of silently merging the old
-	// experiments' text.
-	store.Salt = cachePlanSalt(store.Salt, plan)
-
-	var specs []StudySpec
 	var run *StoreRun
-	var fps []string
 	if spec.IsReplay() {
-		paths := spec.ReplayTraces()
-		specs = make([]StudySpec, len(paths))
-		labels := make([]string, len(paths))
-		fps = make([]string, len(paths))
-		// A replay study's cost scales with its trace, so claim the
-		// biggest files first (same longest-first policy as specCost).
-		costs := make([]float64, len(paths))
-		for i, path := range paths {
-			specs[i] = StudySpec{Label: replayLabel(path)}
-			labels[i] = specs[i].Label
-			fps[i], err = replayFingerprint(store.Salt, labels[i], path)
-			if err != nil {
-				return nil, err
-			}
-			if fi, err := os.Stat(path); err == nil {
-				costs[i] = float64(fi.Size())
-			}
-		}
-		run, err = runStore(ctx, spec.Workers, store, labels, fps, costs,
+		run, err = runStore(ctx, spec.Workers, store, keys.labels, keys.fps, keys.costs,
 			func(_, i int) (StudyOutcome, string, string, error) {
-				out, text, err := replayStudy(paths[i], plan)
+				out, text, err := replayStudy(keys.paths[i], plan)
 				if err != nil {
-					return out, "", "", fmt.Errorf("core: replay %s: %w", labels[i], err)
+					return out, "", "", fmt.Errorf("core: replay %s: %w", keys.labels[i], err)
 				}
-				out.Spec = specs[i]
+				out.Spec = keys.specs[i]
 				return out, text, "", nil
 			})
 	} else {
-		specs = ScenarioSpecs(spec)
 		// The cache experiments run on the worker right after each
 		// study, exactly as in RunScenario; the store persists their
 		// text with the outcome so a resumed or merging process never
 		// re-simulates a finished study to recover it.
-		texts := make([]string, len(specs))
-		sweepCfg := SweepConfig{Specs: specs, Workers: spec.Workers}
+		texts := make([]string, len(keys.specs))
+		sweepCfg := SweepConfig{Specs: keys.specs, Workers: spec.Workers}
 		if plan != nil {
 			sweepCfg.PostStudy = func(i int, r *Result) {
 				texts[i] = cacheExperimentText(plan, r.Events, r.BlockBytes())
 			}
 		}
 		store.AuxText = func(i int) string { return texts[i] }
-		_, fps = specKeys(store.Salt, specs)
 		run, err = RunSweepStore(ctx, sweepCfg, store)
 	}
 	if err != nil {
 		return &ScenarioStoreRun{Run: run}, err
 	}
-	merge, err := mergeStore(store, specs, fps)
+	merge, err := mergeStore(store, keys.specs, keys.fps)
 	if err != nil {
 		return &ScenarioStoreRun{Run: run}, err
 	}
@@ -901,6 +928,98 @@ func RunScenarioStore(ctx context.Context, spec *scenario.Spec, store StoreConfi
 	}
 	return out, nil
 }
+
+// scenarioKeys is a scenario's resolved store identity: its study
+// list and the per-study labels, fingerprints, claim costs, and (for
+// replay scenarios) trace paths.
+type scenarioKeys struct {
+	specs  []StudySpec
+	labels []string
+	fps    []string
+	costs  []float64
+	paths  []string // replay trace paths; nil for simulated scenarios
+}
+
+// scenarioStoreKeys validates the spec, normalizes the store config,
+// folds the resolved cache plan into the fingerprint salt, and
+// resolves the study keys -- the shared front half of
+// RunScenarioStore and MergeScenarioStore.
+func scenarioStoreKeys(spec *scenario.Spec, store StoreConfig) (StoreConfig, *scenarioKeys, error) {
+	if spec == nil {
+		return store, nil, errors.New("core: nil scenario spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return store, nil, err
+	}
+	store, err := store.normalized()
+	if err != nil {
+		return store, nil, err
+	}
+	if store.AuxText != nil {
+		return store, nil, errors.New("core: store: AuxText is owned by the scenario lowering")
+	}
+	// The cache plan shapes each study's persisted text but is not
+	// part of the StudySpec, so fold it into the fingerprint salt:
+	// editing a spec's cache grid between runs then surfaces as a
+	// manifest mismatch instead of silently merging the old
+	// experiments' text.
+	store.Salt = cachePlanSalt(store.Salt, spec.CachePlan())
+	keys := &scenarioKeys{}
+	if spec.IsReplay() {
+		keys.paths = spec.ReplayTraces()
+		keys.specs = make([]StudySpec, len(keys.paths))
+		keys.labels = make([]string, len(keys.paths))
+		keys.fps = make([]string, len(keys.paths))
+		// A replay study's cost scales with its trace, so claim the
+		// biggest files first (same longest-first policy as specCost).
+		keys.costs = make([]float64, len(keys.paths))
+		for i, path := range keys.paths {
+			keys.specs[i] = StudySpec{Label: replayLabel(path)}
+			keys.labels[i] = keys.specs[i].Label
+			keys.fps[i], err = replayFingerprint(store.Salt, keys.labels[i], path)
+			if err != nil {
+				return store, nil, err
+			}
+			if fi, err := os.Stat(path); err == nil {
+				keys.costs[i] = float64(fi.Size())
+			}
+		}
+		return store, keys, nil
+	}
+	keys.specs = ScenarioSpecs(spec)
+	keys.labels, keys.fps = specKeys(store.Salt, keys.specs)
+	keys.costs = specCosts(keys.specs)
+	return store, keys, nil
+}
+
+// MergeScenarioStore reconstructs a stored scenario from its run
+// directory without executing anything: the returned Run is nil, and
+// Result is non-nil exactly when every study's outcome file exists
+// (Merge.Missing empty), in which case Result.Format() is
+// byte-identical to a single-process RunScenario. This is the serve
+// daemon's cache probe: an identical spec whose directory is already
+// fully committed is answered straight from disk.
+func MergeScenarioStore(spec *scenario.Spec, store StoreConfig) (*ScenarioStoreRun, error) {
+	store, keys, err := scenarioStoreKeys(spec, store)
+	if err != nil {
+		return nil, err
+	}
+	merge, err := mergeStore(store, keys.specs, keys.fps)
+	if err != nil {
+		return nil, err
+	}
+	out := &ScenarioStoreRun{Merge: merge}
+	if len(merge.Missing) == 0 {
+		out.Result = &ScenarioResult{Spec: spec, Sweep: merge.Result, CacheTexts: merge.Aux}
+	}
+	return out, nil
+}
+
+// StoreCodeSalt returns the store's code-version fingerprint salt.
+// Callers that content-address run directories by spec (the serve
+// daemon's job keys) fold it into their keys so a salt bump routes
+// jobs to fresh directories instead of tripping the old manifests.
+func StoreCodeSalt() string { return storeSalt }
 
 // cachePlanSalt renders a scenario's resolved cache plan into the
 // fingerprint salt. The nested pointers are rendered by value (a

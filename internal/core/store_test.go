@@ -673,3 +673,125 @@ func TestNormalizedRejectsNonFinite(t *testing.T) {
 		t.Fatalf("normalized clobbered a valid scale: %v", got)
 	}
 }
+
+// TestStoreProgressExactlyOnce pins the Progress hook's contract:
+// exactly one notification per spec, running Done counts that reach
+// Total, the right state per materialization (ran on first execution,
+// skipped when found committed at open), and no calls at all when the
+// hook is nil (the default path must not regress).
+func TestStoreProgressExactlyOnce(t *testing.T) {
+	specs := sweepSpecs(4)
+	dir := t.TempDir()
+
+	var mu sync.Mutex
+	var got []StoreProgress
+	record := func(p StoreProgress) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	}
+
+	if _, err := RunSweepStore(context.Background(),
+		SweepConfig{Specs: specs, Workers: 2},
+		StoreConfig{Dir: dir, Progress: record}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(wantState string) {
+		t.Helper()
+		if len(got) != len(specs) {
+			t.Fatalf("%d progress calls for %d specs: %+v", len(got), len(specs), got)
+		}
+		seen := make(map[int]bool)
+		maxDone := 0
+		for _, p := range got {
+			if seen[p.Index] {
+				t.Fatalf("spec %d notified twice: %+v", p.Index, got)
+			}
+			seen[p.Index] = true
+			if p.State != wantState {
+				t.Fatalf("spec %d state %q, want %q", p.Index, p.State, wantState)
+			}
+			if p.Total != len(specs) || p.Done < 1 || p.Done > p.Total || p.Label == "" {
+				t.Fatalf("malformed progress %+v", p)
+			}
+			if p.Done > maxDone {
+				maxDone = p.Done
+			}
+		}
+		if maxDone != len(specs) {
+			t.Fatalf("running Done count peaked at %d, want %d", maxDone, len(specs))
+		}
+	}
+	check(StoreSpecRan)
+
+	// A resumed run finds everything committed at open.
+	got = nil
+	if _, err := RunSweepStore(context.Background(),
+		SweepConfig{Specs: specs, Workers: 2},
+		StoreConfig{Dir: dir, Progress: record}); err != nil {
+		t.Fatal(err)
+	}
+	check(StoreSpecSkipped)
+}
+
+// TestMergeScenarioStore pins the serve daemon's cache probe: on a
+// fresh or half-committed directory the merge-only probe reports the
+// missing studies without executing anything, and once the directory
+// is fully committed it reconstructs the exact RunScenario bytes from
+// disk.
+func TestMergeScenarioStore(t *testing.T) {
+	parse := func() *scenario.Spec {
+		spec, err := scenario.Parse([]byte(`{
+			"version": 1, "name": "probe",
+			"seeds": [1, 2], "scales": [0.01]
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	baseline, err := RunScenario(context.Background(), parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	probe, err := MergeScenarioStore(parse(), StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Result != nil || len(probe.Merge.Missing) != 2 {
+		t.Fatalf("empty-directory probe: result %v, missing %v", probe.Result, probe.Merge.Missing)
+	}
+	if probe.Run != nil {
+		t.Fatalf("merge-only probe reported an execution: %+v", probe.Run)
+	}
+
+	// Half-commit via a static shard, then probe again.
+	if _, err := RunScenarioStore(context.Background(), parse(),
+		StoreConfig{Dir: dir, Shard: 0, NumShards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	probe, err = MergeScenarioStore(parse(), StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Result != nil || len(probe.Merge.Missing) != 1 {
+		t.Fatalf("half-committed probe: result %v, missing %v", probe.Result, probe.Merge.Missing)
+	}
+
+	if _, err := RunScenarioStore(context.Background(), parse(),
+		StoreConfig{Dir: dir, Shard: 1, NumShards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	probe, err = MergeScenarioStore(parse(), StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Result == nil {
+		t.Fatalf("fully committed probe found no result: missing %v", probe.Merge.Missing)
+	}
+	if got, want := probe.Result.Format(), baseline.Format(); got != want {
+		t.Fatalf("probe merge differs from RunScenario (first diff near byte %d)", firstDiff(got, want))
+	}
+}
