@@ -134,6 +134,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	report := fs.Bool("report", false, "print the full report (default when no -fig/-table)")
 	traceOut := fs.String("trace", "", "also write the raw trace to this file")
 	sweep := fs.Bool("sweep", false, "run a parallel study sweep over -seeds x -scales")
+	predict := fs.Bool("predict", false, "print the analytical twin's instant M/G/1 queueing prediction instead of simulating")
 	faultsPreset := fs.String("faults", "", "inject a named fault preset into the study or sweep: "+strings.Join(faults.PresetNames(), ", "))
 	scenarioPath := fs.String("scenario", "", "run the declarative scenario spec at this path")
 	seeds := fs.String("seeds", "", "sweep seeds: values and ranges, e.g. '3,1-5' (default: -seed)")
@@ -161,7 +162,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 
 	if err := run(ctx, appConfig{
 		scale: *scale, seed: *seed, fig: *fig, table: *table, report: *report,
-		traceOut: *traceOut, sweep: *sweep, scenarioPath: *scenarioPath,
+		traceOut: *traceOut, sweep: *sweep, predict: *predict, scenarioPath: *scenarioPath,
 		faultsPreset: *faultsPreset,
 		seeds:        *seeds, scales: *scales, workers: *workers,
 		outDir: *outDir, shardSpec: *shardSpec, resume: *resume,
@@ -181,6 +182,7 @@ type appConfig struct {
 	report       bool
 	traceOut     string
 	sweep        bool
+	predict      bool
 	scenarioPath string
 	faultsPreset string
 	seeds        string
@@ -228,6 +230,25 @@ func run(ctx context.Context, cfg appConfig, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+	if cfg.predict {
+		// The analytical twin runs no traced simulation: there is no
+		// trace to write, no figures or tables to render, and no
+		// outcome to persist. Same rule as above -- each of these is a
+		// hard error naming both flags, never a silent no-op.
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"-trace", cfg.traceOut != ""},
+			{"-fig", cfg.fig != 0},
+			{"-table", cfg.table != 0},
+			{"-out", cfg.outDir != ""},
+		} {
+			if f.set {
+				return fmt.Errorf("%s conflicts with -predict: the analytical twin runs no traced simulation", f.name)
+			}
+		}
+	}
 	store, useStore, err := parseStore(cfg)
 	if err != nil {
 		return err
@@ -247,6 +268,8 @@ func run(ctx context.Context, cfg appConfig, stdout, stderr io.Writer) error {
 	// the timing channel; stdout stays deterministic report text.
 	store.Log = stderr
 	switch {
+	case cfg.predict:
+		return runPredict(ctx, stdout, cfg, faultsCfg)
 	case cfg.scenarioPath != "":
 		return runScenario(ctx, stdout, stderr, cfg.scenarioPath, cfg.workers, store, useStore)
 	case cfg.sweep:
@@ -300,6 +323,60 @@ func runStudy(ctx context.Context, stdout, stderr io.Writer, cfg appConfig, faul
 		res.TraceRecords, res.TraceMessages,
 		100*float64(res.TraceMessages)/float64(max64(res.TraceRecords, 1)),
 		res.DiskOps)
+	return nil
+}
+
+// runPredict is the analytical-twin mode: instead of simulating, it
+// walks the workload on the twin's stripped timing engine and prints
+// the per-I/O-node M/G/1 prediction for every study the flags
+// describe -- the single study, the -sweep seed/scale cross product,
+// or each study of a -scenario spec. Output is deterministic and,
+// like every twin rendering, free of Inf and NaN: saturation is a
+// flagged "sat" cell, never an infinite wait.
+func runPredict(ctx context.Context, stdout io.Writer, cfg appConfig, faultsCfg *faults.Config) error {
+	var specs []core.StudySpec
+	switch {
+	case cfg.scenarioPath != "":
+		spec, err := scenario.Load(cfg.scenarioPath)
+		if err != nil {
+			return err
+		}
+		if spec.IsReplay() {
+			return errors.New("-predict cannot run a replay scenario: a recorded trace already carries its timing, so there is nothing to predict")
+		}
+		specs = core.ScenarioSpecs(spec)
+	case cfg.sweep:
+		seedList, err := parseSeeds(cfg.seeds, cfg.seed)
+		if err != nil {
+			return err
+		}
+		scaleList, err := parseScales(cfg.scales, cfg.scale)
+		if err != nil {
+			return err
+		}
+		specs = core.CrossSpecs(seedList, scaleList, nil, nil)
+		for i := range specs {
+			specs[i].Config.Faults = faultsCfg
+		}
+	default:
+		studyCfg := core.DefaultConfig(cfg.seed, cfg.scale)
+		studyCfg.Faults = faultsCfg
+		specs = []core.StudySpec{{Config: studyCfg}}
+	}
+	for i, ss := range specs {
+		// Each walk is short, but a sweep of them is worth interrupting
+		// between studies.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted: %w", err)
+		}
+		if len(specs) > 1 {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			fmt.Fprintf(stdout, "== %s ==\n", ss.Label)
+		}
+		fmt.Fprint(stdout, core.Predict(ss.Config).Format())
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,6 +18,10 @@ import (
 
 	"repro/internal/serve"
 )
+
+// update rewrites the checked-in golden files under cmd/charisma/
+// testdata instead of comparing against them.
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // TestParseSeeds covers the seed grammar: values, ranges, and the
 // two freely mixed ("3,1-5" was once rejected as one bad range).
@@ -277,6 +282,12 @@ func TestModeFlagConflicts(t *testing.T) {
 		{[]string{"-scenario", "x.json", "-fig", "8"}, "-fig", "-scenario"},
 		{[]string{"-scenario", "x.json", "-table", "1"}, "-table", "-scenario"},
 		{[]string{"-sweep", "-scenario", "x.json"}, "-sweep", "-scenario"},
+		// -predict walks the twin: no trace, no figure/table rendering,
+		// no persistable outcome. Same hard-error rule.
+		{[]string{"-predict", "-trace", "out.trc"}, "-trace", "-predict"},
+		{[]string{"-predict", "-fig", "8"}, "-fig", "-predict"},
+		{[]string{"-predict", "-table", "1"}, "-table", "-predict"},
+		{[]string{"-predict", "-out", "runs/x"}, "-out", "-predict"},
 	}
 	for _, tc := range cases {
 		code, out, stderr := app(tc.args...)
@@ -290,6 +301,84 @@ func TestModeFlagConflicts(t *testing.T) {
 		if out != "" {
 			t.Errorf("%v printed output despite the conflict:\n%s", tc.args, out)
 		}
+	}
+}
+
+// TestPredictCLI pins the -predict mode across its three input
+// shapes -- single study, -sweep cross product, -scenario spec --
+// plus the replay rejection and the stability property: whatever the
+// load, the rendered table never contains Inf or NaN (saturation is
+// a flagged cell, not an infinity).
+func TestPredictCLI(t *testing.T) {
+	finite := func(t *testing.T, out string) {
+		t.Helper()
+		for _, bad := range []string{"NaN", "Inf", "inf"} {
+			if strings.Contains(out, bad) {
+				t.Fatalf("prediction renders %s:\n%s", bad, out)
+			}
+		}
+	}
+
+	code, out, stderr := app("-predict", "-scale", "0.01", "-seed", "42")
+	if code != 0 {
+		t.Fatalf("-predict exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{
+		"Analytical twin: per-I/O-node M/G/1 prediction",
+		"P-K wait(ms)",
+		"headroom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-predict output missing %q:\n%s", want, out)
+		}
+	}
+	finite(t, out)
+	if _, again, _ := app("-predict", "-scale", "0.01", "-seed", "42"); again != out {
+		t.Fatal("-predict is not deterministic across runs")
+	}
+
+	code, sweepOut, stderr := app("-predict", "-sweep", "-seeds", "1-2", "-scales", "0.01")
+	if code != 0 {
+		t.Fatalf("-predict -sweep exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"== seed=1 scale=0.01 ==", "== seed=2 scale=0.01 =="} {
+		if !strings.Contains(sweepOut, want) {
+			t.Fatalf("-predict -sweep missing the %q header:\n%s", want, sweepOut)
+		}
+	}
+	finite(t, sweepOut)
+
+	// The fig8 corpus scenario's prediction is pinned byte-for-byte:
+	// regen with `go test ./cmd/charisma/ -run TestPredictCLI -update`.
+	code, scenOut, stderr := app("-predict", "-scenario",
+		filepath.Join("..", "..", "testdata", "scenarios", "fig8.json"))
+	if code != 0 {
+		t.Fatalf("-predict -scenario exit %d, stderr %q", code, stderr)
+	}
+	finite(t, scenOut)
+	golden := filepath.Join("testdata", "predict-fig8.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(scenOut), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regen with -update)", err)
+	}
+	if scenOut != string(want) {
+		t.Fatalf("-predict -scenario fig8 diverged from its golden (regen with -update):\n%s", scenOut)
+	}
+
+	// A replay scenario's timing is already recorded: predicting it is
+	// a loud error, not an empty table.
+	code, out, stderr = app("-predict", "-scenario",
+		filepath.Join("..", "..", "testdata", "scenarios", "replay-smoke.json"))
+	if code == 0 || !strings.Contains(stderr, "replay") {
+		t.Fatalf("-predict on a replay scenario: exit %d, stderr %q", code, stderr)
+	}
+	if out != "" {
+		t.Fatalf("replay rejection printed output:\n%s", out)
 	}
 }
 

@@ -378,3 +378,44 @@ func TestEmptyEventStream(t *testing.T) {
 	// Formatting must not panic on the empty report.
 	_ = r.Format()
 }
+
+// A zero-event study must render every section with defined values:
+// no NaN, no Inf, no panic. The twin's saturation probing constructs
+// tiny-scale configs that produce exactly these degenerate reports.
+func TestZeroEventReportRendersDefined(t *testing.T) {
+	r := Analyze(header(), nil, 0)
+	out := r.Format()
+	for _, bad := range []string{"NaN", "nan", "Inf", "inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("zero-event report contains %q:\n%s", bad, out)
+		}
+	}
+	if got := r.IdlePct(); got != 0 {
+		t.Fatalf("IdlePct on zero horizon = %v, want 0", got)
+	}
+	if got := r.MultiJobPct(); got != 0 {
+		t.Fatalf("MultiJobPct on zero horizon = %v, want 0", got)
+	}
+	if math.IsNaN(r.TempOpenFraction) || math.IsNaN(r.MeanBytesRead) ||
+		math.IsNaN(r.MeanBytesWritten) || math.IsNaN(r.OneIntervalZeroFrac) {
+		t.Fatal("zero-event report carries NaN aggregates")
+	}
+}
+
+// A hand-assembled report whose per-class CDF maps were never built
+// must render "n/a" cells deterministically instead of dereferencing
+// nil.
+func TestNilClassCDFsRenderNA(t *testing.T) {
+	r := Analyze(header(), nil, 0)
+	r.SeqPct = nil
+	r.ConsPct = nil
+	r.ByteSharing = nil
+	r.BlockSharing = nil
+	out := r.FormatFig5() + r.FormatFig6() + r.FormatFig7()
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("nil class CDFs should render n/a:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("nil class CDFs render NaN:\n%s", out)
+	}
+}

@@ -99,6 +99,18 @@ func (r *Report) FormatFig4() string {
 	return b.String()
 }
 
+// pctCell renders one CDF cell of a percent table. A nil CDF — a
+// degenerate report whose class maps were never populated, as the
+// twin's tiny saturation probes can construct — renders as a
+// deterministic "n/a" instead of dereferencing nil. A non-nil empty
+// CDF keeps its defined 0.0000 rendering.
+func pctCell(c *stats.CDF, x float64) string {
+	if c == nil {
+		return fmt.Sprintf("%11s", "n/a")
+	}
+	return fmt.Sprintf("%11.4f", c.At(x))
+}
+
 func formatPctCDFs(title string, cdfs map[FileClass]*stats.CDF) string {
 	var b strings.Builder
 	b.WriteString(title + "\n")
@@ -111,7 +123,7 @@ func formatPctCDFs(title string, cdfs map[FileClass]*stats.CDF) string {
 	for pct := 0; pct <= 100; pct += 10 {
 		fmt.Fprintf(&b, "%5d%%", pct)
 		for _, c := range classes {
-			fmt.Fprintf(&b, "  %11.4f", cdfs[c].At(float64(pct)))
+			fmt.Fprintf(&b, "  %s", pctCell(cdfs[c], float64(pct)))
 		}
 		b.WriteString("\n")
 	}
@@ -173,11 +185,12 @@ func (r *Report) FormatFig7() string {
 	fmt.Fprintf(&b, "%9s  %11s  %11s  %11s  %11s\n",
 		"% shared", "RO bytes", "RO blocks", "WO bytes", "WO blocks")
 	for pct := 0; pct <= 100; pct += 10 {
-		fmt.Fprintf(&b, "%8d%%  %11.4f  %11.4f  %11.4f  %11.4f\n", pct,
-			r.ByteSharing[ReadOnly].At(float64(pct)),
-			r.BlockSharing[ReadOnly].At(float64(pct)),
-			r.ByteSharing[WriteOnly].At(float64(pct)),
-			r.BlockSharing[WriteOnly].At(float64(pct)))
+		x := float64(pct)
+		fmt.Fprintf(&b, "%8d%%  %s  %s  %s  %s\n", pct,
+			pctCell(r.ByteSharing[ReadOnly], x),
+			pctCell(r.BlockSharing[ReadOnly], x),
+			pctCell(r.ByteSharing[WriteOnly], x),
+			pctCell(r.BlockSharing[WriteOnly], x))
 	}
 	return b.String()
 }

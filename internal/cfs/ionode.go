@@ -36,6 +36,16 @@ type IONode struct {
 	requests   int64
 	cacheHits  int64
 	prefetches int64
+
+	// Observation-only queueing statistics (they never influence
+	// timing): per-batch arrival counts, accumulated queue wait
+	// (service start minus arrival), and accumulated service time
+	// (response departure minus service start, plus readahead the
+	// disk absorbs off the critical path). The analytical twin's
+	// conformance suite compares its M/G/1 predictions against these.
+	batches      int64
+	waitTotal    sim.Time
+	serviceTotal sim.Time
 }
 
 // NodeFault is the degradation hook an I/O node consults while
@@ -106,6 +116,12 @@ func (n *IONode) Prefetches() int64 { return n.prefetches }
 
 // Disk exposes the underlying drive for instrumentation.
 func (n *IONode) Disk() *disk.Disk { return n.disk }
+
+// QueueStats reports the node's observation-only queueing counters:
+// batches served, total queue wait, and total service time.
+func (n *IONode) QueueStats() (batches int64, wait, service sim.Time) {
+	return n.batches, n.waitTotal, n.serviceTotal
+}
 
 // allocBlock claims a free disk block (reusing reclaimed blocks
 // first), or reports exhaustion.
@@ -195,6 +211,9 @@ func (n *IONode) serve(arrival sim.Time, batch []blockRequest) sim.Time {
 		}
 	}
 	n.busyUntil = t + readahead
+	n.batches++
+	n.waitTotal += start - arrival
+	n.serviceTotal += (t - start) + readahead
 	return t
 }
 

@@ -93,6 +93,12 @@ type Result struct {
 	TraceRecords  int64 // events recorded at compute nodes
 	TraceMessages int64 // blocks shipped to the collector
 	DiskOps       int64 // physical disk operations during the study
+
+	// IOQueue holds per-I/O-node observed queueing counters (batches,
+	// total wait, total service). They are observation-only — the
+	// simulation's timing is identical with or without them — and
+	// ground the analytical twin's conformance bands.
+	IOQueue []machine.IONodeQueueStat
 }
 
 // BlockBytes returns the file-system block size the trace was
@@ -181,6 +187,7 @@ func runStudy(cfg Config, a *Arena) *Result {
 		TraceRecords:  m.TraceRecords(),
 		TraceMessages: m.TraceMessages(),
 		DiskOps:       m.FS().TotalDiskOps(),
+		IOQueue:       m.IONodeQueueStats(),
 	}
 }
 

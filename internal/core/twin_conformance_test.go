@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// conformanceBands are the in-code tolerance bands the twin must meet
+// against the simulation's observed per-I/O-node queue counters:
+// utilization within 5% relative (or a small absolute epsilon for
+// near-idle nodes), machine-wide mean queue wait within 25% on
+// non-saturated configurations. The twin walks the same workload on
+// the same CFS/disk/network models, so the only admissible divergence
+// is event tie-breaking around the tracing pipeline the twin omits.
+const (
+	rhoRelBand  = 0.05
+	rhoAbsEps   = 1e-4 // utilization points; absorbs near-zero nodes
+	waitRelBand = 0.25
+	waitAbsEps  = 100e-6 // seconds; absorbs near-zero waits
+)
+
+// within reports |got-want| <= rel*|want| + abs.
+func within(got, want, rel, abs float64) bool {
+	return math.Abs(got-want) <= rel*math.Abs(want)+abs
+}
+
+// TestTwinConformance runs every non-replay corpus scenario study
+// twice — once through the full traced simulation, once through the
+// analytical twin — and holds the twin's prediction inside the bands.
+func TestTwinConformance(t *testing.T) {
+	ran := 0
+	for _, path := range corpusPaths(t) {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		spec := loadCorpusSpec(t, path)
+		if spec.IsReplay() {
+			// A replay scenario has no workload to walk: its timing is
+			// already recorded.
+			continue
+		}
+		for _, ss := range ScenarioSpecs(spec) {
+			ss := ss
+			ran++
+			t.Run(name+"/"+ss.Label, func(t *testing.T) {
+				t.Parallel()
+				res := RunStudy(ss.Config)
+				pred := Predict(ss.Config)
+
+				if pred.Horizon != res.Horizon {
+					t.Fatalf("twin horizon %v != study horizon %v", pred.Horizon, res.Horizon)
+				}
+				if len(pred.Nodes) != len(res.IOQueue) {
+					t.Fatalf("twin models %d I/O nodes, study ran %d", len(pred.Nodes), len(res.IOQueue))
+				}
+				h := res.Horizon.ToSeconds()
+				var simBatches int64
+				var simWaitSum float64
+				for i, q := range res.IOQueue {
+					simRho := q.Service.ToSeconds() / h
+					if !within(pred.Nodes[i].Rho, simRho, rhoRelBand, rhoAbsEps) {
+						t.Errorf("node %d: twin utilization %.6f vs simulated %.6f (band %.0f%% + %g)",
+							i, pred.Nodes[i].Rho, simRho, 100*rhoRelBand, rhoAbsEps)
+					}
+					simBatches += q.Batches
+					simWaitSum += q.Wait.ToSeconds()
+				}
+				if simBatches == 0 {
+					if pred.TotalBatches() != 0 {
+						t.Fatalf("study served no batches but twin walked %d", pred.TotalBatches())
+					}
+					return
+				}
+				simMeanWait := simWaitSum / float64(simBatches)
+				if !pred.Saturated() && !within(pred.MeanWait(), simMeanWait, waitRelBand, waitAbsEps) {
+					t.Errorf("machine-wide mean wait: twin %.6fs vs simulated %.6fs (band %.0f%% + %gs)",
+						pred.MeanWait(), simMeanWait, 100*waitRelBand, waitAbsEps)
+				}
+			})
+		}
+	}
+	if ran < 8 {
+		t.Fatalf("conformance covered only %d studies", ran)
+	}
+}

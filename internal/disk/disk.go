@@ -184,3 +184,22 @@ func (d *Disk) wornTime(seek, transfer sim.Time) sim.Time {
 	}
 	return sim.Time(float64(seek)*sm*ramp) + sim.Time(float64(transfer)*tm*ramp)
 }
+
+// RandomAccessMoments returns the first and second moments (in
+// seconds) of the service time of a single-block access at a
+// uniformly random block from a uniformly random head position: the
+// closed-form service distribution an M/G/1 model of the drive is fed
+// with. With from and to cylinders independent uniform on [0, 1), the
+// seek fraction sqrt(|from-to|) has E = 8/15 and E[.^2] = 1/3, and a
+// random block is almost surely non-sequential, so rotation
+// contributes a deterministic half revolution.
+func (c Config) RandomAccessMoments() (mean, second float64) {
+	minS := c.MinSeek.ToSeconds()
+	deltaS := (c.MaxSeek - c.MinSeek).ToSeconds()
+	meanSeek := minS + deltaS*8.0/15.0
+	secondSeek := minS*minS + 2*minS*deltaS*8.0/15.0 + deltaS*deltaS/3.0
+	fixed := c.RotationPeriod.ToSeconds()/2 + float64(c.BlockBytes)/c.BytesPerSecond
+	mean = meanSeek + fixed
+	second = secondSeek + 2*meanSeek*fixed + fixed*fixed
+	return mean, second
+}

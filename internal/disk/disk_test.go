@@ -1,6 +1,7 @@
 package disk
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -155,4 +156,53 @@ func TestQuickCountersConsistent(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestRandomAccessMoments cross-checks the closed-form moments (the
+// 8/15 and 1/3 uniform-|x-y| constants) against a Monte-Carlo sample
+// of the same service model: seek between two uniform cylinder
+// fractions, half a revolution, one block at media rate.
+func TestRandomAccessMoments(t *testing.T) {
+	cfg := CDC760MB()
+	mean, second := cfg.RandomAccessMoments()
+	if second <= mean*mean {
+		t.Fatalf("second moment %v <= mean^2 %v: no variance", second, mean*mean)
+	}
+
+	minS := cfg.MinSeek.ToSeconds()
+	deltaS := (cfg.MaxSeek - cfg.MinSeek).ToSeconds()
+	fixed := cfg.RotationPeriod.ToSeconds()/2 + float64(cfg.BlockBytes)/cfg.BytesPerSecond
+	// Deterministic low-discrepancy sample over the unit square.
+	const n = 2000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x := (float64(i) + 0.5) / n
+			y := (float64(j) + 0.5) / n
+			d := x - y
+			if d < 0 {
+				d = -d
+			}
+			s := minS + deltaS*sqrt(d) + fixed
+			sum += s
+			sumSq += s * s
+		}
+	}
+	gotMean := sum / (n * n)
+	gotSecond := sumSq / (n * n)
+	if rel := abs(gotMean-mean) / mean; rel > 1e-3 {
+		t.Errorf("mean: closed form %v vs sampled %v (rel %v)", mean, gotMean, rel)
+	}
+	if rel := abs(gotSecond-second) / second; rel > 1e-3 {
+		t.Errorf("second moment: closed form %v vs sampled %v (rel %v)", second, gotSecond, rel)
+	}
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

@@ -52,6 +52,48 @@ func NASConfig(seed uint64) Config {
 	}
 }
 
+// File is the per-handle surface a job program uses: the exported
+// methods of cfs.Handle. Job bodies are written against this
+// interface so the same body can run on the simulated machine (a real
+// *cfs.Handle) or on the analytical twin's timing engine.
+type File interface {
+	Read(p *sim.Proc, size int64) (int64, error)
+	ReadAt(p *sim.Proc, off, size int64) (int64, error)
+	Write(p *sim.Proc, size int64) (int64, error)
+	WriteAt(p *sim.Proc, off, size int64) (int64, error)
+	ReadStrided(p *sim.Proc, off, recBytes, stride int64, count int) (int64, error)
+	WriteStrided(p *sim.Proc, off, recBytes, stride int64, count int) (int64, error)
+	Seek(p *sim.Proc, off int64) error
+	Close(p *sim.Proc) error
+	Mode() cfs.IOMode
+	FileID() uint64
+	Size() int64
+	Pointer() int64
+}
+
+// FileSys is the per-node file-system client surface a job program
+// uses. On the simulated machine it is a thin adapter over
+// *cfs.Client; the analytical twin provides its own implementation.
+type FileSys interface {
+	Open(p *sim.Proc, name string, flags int, mode cfs.IOMode) (File, error)
+	Delete(p *sim.Proc, name string) error
+}
+
+// cfsFS adapts *cfs.Client to FileSys. The only reason the adapter
+// exists is Go's lack of covariant returns: Open must return the
+// interface type, not *cfs.Handle.
+type cfsFS struct{ c *cfs.Client }
+
+func (f cfsFS) Open(p *sim.Proc, name string, flags int, mode cfs.IOMode) (File, error) {
+	h, err := f.c.Open(p, name, flags, mode)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (f cfsFS) Delete(p *sim.Proc, name string) error { return f.c.Delete(p, name) }
+
 // NodeCtx is what a job's per-node program receives: its process, its
 // identity, and its CFS client.
 type NodeCtx struct {
@@ -60,7 +102,7 @@ type NodeCtx struct {
 	Rank     int // rank within the job, 0..JobNodes-1
 	JobNodes int // number of nodes in the job
 	JobID    uint32
-	CFS      *cfs.Client
+	CFS      FileSys
 }
 
 // JobSpec describes one submitted job.
@@ -271,6 +313,15 @@ func (m *Machine) ComputeNodes() int { return m.cfg.ComputeNodes }
 // FS returns the file system.
 func (m *Machine) FS() *cfs.FileSystem { return m.fs }
 
+// Preload creates a file with all blocks allocated before the
+// simulation starts, modeling data sets that predate the traced
+// window. It is the workload generator's loading dock (see
+// workload.Target).
+func (m *Machine) Preload(name string, size int64) error {
+	_, err := m.fs.Preload(name, size)
+	return err
+}
+
 // Network returns the interconnect.
 func (m *Machine) Network() *hypercube.Network { return m.net }
 
@@ -285,6 +336,28 @@ func (m *Machine) FaultReport() *faults.Report {
 		wearExtra[i] = m.fs.IONode(i).Disk().WearExtra()
 	}
 	return m.injector.Report(wearExtra)
+}
+
+// IONodeQueueStat is one I/O node's observed queueing behavior over a
+// study: batches (request messages) served, total queue wait, and
+// total service time. The counters are observation-only — recording
+// them never perturbs simulated timing — and are the ground truth the
+// analytical twin's conformance suite compares against.
+type IONodeQueueStat struct {
+	Batches int64
+	Wait    sim.Time
+	Service sim.Time
+}
+
+// IONodeQueueStats returns the per-I/O-node queueing counters. Call it
+// after the simulation.
+func (m *Machine) IONodeQueueStats() []IONodeQueueStat {
+	out := make([]IONodeQueueStat, m.cfg.FS.IONodes)
+	for i := range out {
+		b, w, s := m.fs.IONode(i).QueueStats()
+		out[i] = IONodeQueueStat{Batches: b, Wait: w, Service: s}
+	}
+	return out
 }
 
 // Clock returns compute node n's local clock.
@@ -366,7 +439,8 @@ func (m *Machine) startJob(qj queuedJob, base int) {
 		if spec.Traced {
 			tracer = jobTracer{buf: m.nodeBuffers[node], job: qj.id}
 		}
-		ctx.CFS = cfs.NewClient(m.fs, qj.id, node, tracer)
+		client := cfs.NewClient(m.fs, qj.id, node, tracer)
+		ctx.CFS = cfsFS{client}
 		m.k.Spawn(fmt.Sprintf("job%d/node%d", qj.id, node), func(p *sim.Proc) {
 			ctx.P = p
 			if spec.Body != nil {
@@ -375,7 +449,7 @@ func (m *Machine) startJob(qj queuedJob, base int) {
 			// The node program is done: its client (and the client's
 			// transfer dispatch tables) can serve the next job. With no
 			// arena on the file system this is a no-op.
-			ctx.CFS.Release()
+			client.Release()
 			m.nodeDone(rj, node)
 		})
 	}

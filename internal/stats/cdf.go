@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -99,8 +100,12 @@ func (c *CDF) At(x float64) float64 {
 }
 
 // Quantile returns the smallest sample v such that CDF(v) >= q,
-// for q in (0, 1]. Quantile(0) returns the minimum sample.
+// for q in (0, 1]. Quantile(0) returns the minimum sample, and a NaN
+// q yields NaN. It returns 0 for an empty CDF.
 func (c *CDF) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	if c.total == 0 {
 		return 0
 	}
@@ -111,16 +116,14 @@ func (c *CDF) Quantile(q float64) float64 {
 	if q >= 1 {
 		return c.entries[len(c.entries)-1].v
 	}
-	idx := int64(q*float64(c.total)+0.999999) - 1
-	if idx < 0 {
-		idx = 0
+	// The answer is the first entry whose cumulative fraction reaches
+	// q: cum[i]/total >= q, compared cross-multiplied so no rounding
+	// fudge is needed (both sides are exact for totals < 2^53).
+	target := q * float64(c.total)
+	i := sort.Search(len(c.cum), func(i int) bool { return float64(c.cum[i]) >= target })
+	if i == len(c.entries) {
+		i = len(c.entries) - 1
 	}
-	if idx >= c.total {
-		idx = c.total - 1
-	}
-	// The sample of rank idx (0-based) is the first entry whose
-	// cumulative count exceeds idx.
-	i := sort.Search(len(c.cum), func(i int) bool { return c.cum[i] > idx })
 	return c.entries[i].v
 }
 

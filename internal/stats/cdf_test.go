@@ -199,3 +199,67 @@ func TestQuickQuantileInverse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantileNaN(t *testing.T) {
+	var c CDF
+	c.Add(1)
+	c.Add(2)
+	if got := c.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+	}
+	var empty CDF
+	if got := empty.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("empty Quantile(NaN) = %v, want NaN", got)
+	}
+}
+
+// quantileByScan is the O(n) reference: sort the weighted samples and
+// walk the cumulative count until it reaches ceil(q * total).
+func quantileByScan(samples []wsample, q float64) float64 {
+	sorted := append([]wsample(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].v < sorted[j].v })
+	var total int64
+	for _, s := range sorted {
+		total += s.n
+	}
+	if q <= 0 {
+		return sorted[0].v
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1].v
+	}
+	var run int64
+	for _, s := range sorted {
+		run += s.n
+		if float64(run) >= q*float64(total) {
+			return s.v
+		}
+	}
+	return sorted[len(sorted)-1].v
+}
+
+// Property: Quantile matches a direct rank scan over randomized
+// weighted (value, count) sample sets, for every probe q, with no
+// rounding fudge in either direction.
+func TestQuickQuantileMatchesRankScan(t *testing.T) {
+	f := func(raw []uint16, counts []uint8, qRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var c CDF
+		var samples []wsample
+		for i, v := range raw {
+			n := 1
+			if i < len(counts) {
+				n = int(counts[i]%7) + 1
+			}
+			c.AddN(float64(v), n)
+			samples = append(samples, wsample{v: float64(v), n: int64(n)})
+		}
+		q := float64(qRaw) / float64(math.MaxUint16)
+		return c.Quantile(q) == quantileByScan(samples, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

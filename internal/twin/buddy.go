@@ -1,0 +1,110 @@
+package twin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// buddyAllocator mirrors the machine package's subcube allocator (which
+// is unexported there): power-of-two blocks of node IDs handed out
+// first-fit with classic buddy splitting and coalescing. The twin must
+// replicate the allocator exactly — job placement decides which compute
+// nodes talk to which I/O-node hosts, and therefore every network
+// latency in the walk.
+type buddyAllocator struct {
+	totalOrder int           // machine is 2^totalOrder nodes
+	free       map[int][]int // order -> sorted base addresses of free blocks
+	allocated  map[int]int   // base -> order of live allocations
+}
+
+func newBuddyAllocator(totalOrder int) *buddyAllocator {
+	a := &buddyAllocator{
+		totalOrder: totalOrder,
+		free:       make(map[int][]int),
+		allocated:  make(map[int]int),
+	}
+	a.free[totalOrder] = []int{0}
+	return a
+}
+
+// orderFor returns log2(nodes) and whether nodes is a power of two.
+func orderFor(nodes int) (int, bool) {
+	if nodes <= 0 {
+		return 0, false
+	}
+	order := 0
+	for n := nodes; n > 1; n >>= 1 {
+		if n&1 == 1 {
+			return 0, false
+		}
+		order++
+	}
+	return order, true
+}
+
+// Alloc claims a subcube of the given node count, returning its base
+// node ID, or ok=false when no subcube of that size is free.
+func (a *buddyAllocator) Alloc(nodes int) (base int, ok bool) {
+	order, pow2 := orderFor(nodes)
+	if !pow2 || order > a.totalOrder {
+		panic(fmt.Sprintf("twin: bad allocation size %d", nodes))
+	}
+	from := -1
+	for o := order; o <= a.totalOrder; o++ {
+		if len(a.free[o]) > 0 {
+			from = o
+			break
+		}
+	}
+	if from < 0 {
+		return 0, false
+	}
+	base = a.free[from][0]
+	a.free[from] = a.free[from][1:]
+	for o := from; o > order; o-- {
+		buddy := base + (1 << (o - 1))
+		a.insertFree(o-1, buddy)
+	}
+	a.allocated[base] = order
+	return base, true
+}
+
+// Free returns a subcube to the pool, coalescing buddies.
+func (a *buddyAllocator) Free(base int) {
+	order, ok := a.allocated[base]
+	if !ok {
+		panic(fmt.Sprintf("twin: freeing unallocated subcube at %d", base))
+	}
+	delete(a.allocated, base)
+	for order < a.totalOrder {
+		buddy := base ^ (1 << order)
+		idx := a.findFree(order, buddy)
+		if idx < 0 {
+			break
+		}
+		a.free[order] = append(a.free[order][:idx], a.free[order][idx+1:]...)
+		if buddy < base {
+			base = buddy
+		}
+		order++
+	}
+	a.insertFree(order, base)
+}
+
+func (a *buddyAllocator) insertFree(order, base int) {
+	list := a.free[order]
+	i := sort.SearchInts(list, base)
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = base
+	a.free[order] = list
+}
+
+func (a *buddyAllocator) findFree(order, base int) int {
+	list := a.free[order]
+	i := sort.SearchInts(list, base)
+	if i < len(list) && list[i] == base {
+		return i
+	}
+	return -1
+}

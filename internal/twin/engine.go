@@ -1,0 +1,203 @@
+package twin
+
+import (
+	"fmt"
+
+	"repro/internal/cfs"
+	"repro/internal/disk"
+	"repro/internal/faults"
+	"repro/internal/hypercube"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// engine is the twin's timing machine: the simulated iPSC/860 stripped
+// of everything that does not move time. It reuses the real CFS stack
+// (client, I/O nodes, buffer caches, disks, fault injector) and the
+// real hypercube latency model, and runs the real archetype bodies via
+// machine.FileSys — but builds no trace buffers, no collector, and no
+// drift clocks, which is what the full machine spends most of its
+// memory and much of its cycles on. It implements workload.Target, so
+// a Generator installs the identical preloads and job schedule onto it.
+type engine struct {
+	k        *sim.Kernel
+	cfg      machine.Config
+	rng      *stats.RNG
+	net      *hypercube.Network
+	ioAttach []*hypercube.Attachment
+	fs       *cfs.FileSystem
+	injector *faults.Injector
+
+	alloc   *buddyAllocator
+	queue   []queuedJob
+	running map[uint32]*runningJob
+	nextJob uint32
+	jobs    int
+}
+
+type queuedJob struct {
+	spec machine.JobSpec
+	id   uint32
+}
+
+type runningJob struct {
+	id      uint32
+	base    int
+	pending int // node programs still running
+}
+
+// transport adapts the hypercube to cfs.Transport, exactly as the
+// machine package does: cube path to the I/O node's host plus one
+// peripheral hop.
+type transport struct{ e *engine }
+
+func (t transport) ToIONode(computeNode, ioNode, bytes int) sim.Time {
+	return t.e.ioAttach[ioNode].LatencyFrom(computeNode, bytes)
+}
+
+func (t transport) FromIONode(ioNode, computeNode, bytes int) sim.Time {
+	return t.e.ioAttach[ioNode].LatencyFrom(computeNode, bytes)
+}
+
+// newEngine assembles the timing machine, mirroring machine.NewWith's
+// construction order (network, allocator, I/O attachments, file
+// system, fault wiring) so a faulted twin reconstructs the identical
+// injector windows from the same seed.
+func newEngine(k *sim.Kernel, cfg machine.Config) *engine {
+	order, pow2 := orderFor(cfg.ComputeNodes)
+	if !pow2 {
+		panic(fmt.Sprintf("twin: compute nodes %d not a power of two", cfg.ComputeNodes))
+	}
+	if cfg.ComputeNodes != 1<<cfg.Net.Dim {
+		panic("twin: network dimension disagrees with node count")
+	}
+	e := &engine{
+		k:       k,
+		cfg:     cfg,
+		rng:     stats.NewRNG(cfg.Seed),
+		net:     hypercube.New(k, cfg.Net),
+		alloc:   newBuddyAllocator(order),
+		running: make(map[uint32]*runningJob),
+	}
+	for i := 0; i < cfg.FS.IONodes; i++ {
+		host := i * cfg.ComputeNodes / cfg.FS.IONodes
+		e.ioAttach = append(e.ioAttach, e.net.Attach(host))
+	}
+	e.fs = cfs.New(k, cfg.FS, transport{e})
+	if cfg.Faults.Enabled() {
+		if err := cfg.Faults.Validate(cfg.FS.IONodes, cfg.Net.Dim); err != nil {
+			panic(fmt.Sprintf("twin: %v", err))
+		}
+		// Split does not consume e.rng's state, so the injector draws
+		// the same degradation windows as the machine's.
+		e.injector = faults.NewInjector(cfg.Faults, cfg.FS.IONodes, e.rng)
+		if deg := e.injector.Net(); deg != nil {
+			e.net.SetDegrader(deg)
+		}
+		wear, worn := e.injector.DiskWear()
+		for i := 0; i < cfg.FS.IONodes; i++ {
+			if ns := e.injector.Node(i); ns != nil {
+				e.fs.IONode(i).SetFault(ns)
+			}
+			if worn {
+				e.fs.IONode(i).Disk().SetWear(disk.Wear{
+					SeekMul:     wear.SeekMultiplier,
+					TransferMul: wear.TransferMultiplier,
+					RampPerHour: wear.RampPerHour,
+					Now:         k.Now,
+				})
+			}
+		}
+	}
+	return e
+}
+
+// fsAdapter lifts *cfs.Client to machine.FileSys (Open must return the
+// interface type).
+type fsAdapter struct{ c *cfs.Client }
+
+func (f fsAdapter) Open(p *sim.Proc, name string, flags int, mode cfs.IOMode) (machine.File, error) {
+	h, err := f.c.Open(p, name, flags, mode)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (f fsAdapter) Delete(p *sim.Proc, name string) error { return f.c.Delete(p, name) }
+
+// ComputeNodes implements workload.Target.
+func (e *engine) ComputeNodes() int { return e.cfg.ComputeNodes }
+
+// Preload implements workload.Target.
+func (e *engine) Preload(name string, size int64) error {
+	_, err := e.fs.Preload(name, size)
+	return err
+}
+
+// SubmitAt implements workload.Target.
+func (e *engine) SubmitAt(t sim.Time, spec machine.JobSpec) {
+	e.k.At(t, func() { e.submit(spec) })
+}
+
+// submit mirrors machine.Submit: enqueue, then start everything that
+// fits in queue order (first-fit with backfill).
+func (e *engine) submit(spec machine.JobSpec) {
+	if _, pow2 := orderFor(spec.Nodes); !pow2 || spec.Nodes > e.cfg.ComputeNodes {
+		panic(fmt.Sprintf("twin: job wants %d nodes", spec.Nodes))
+	}
+	e.nextJob++
+	e.queue = append(e.queue, queuedJob{spec: spec, id: e.nextJob})
+	e.trySchedule()
+}
+
+func (e *engine) trySchedule() {
+	kept := e.queue[:0]
+	for _, qj := range e.queue {
+		if base, ok := e.alloc.Alloc(qj.spec.Nodes); ok {
+			e.startJob(qj, base)
+		} else {
+			kept = append(kept, qj)
+		}
+	}
+	e.queue = kept
+}
+
+// startJob mirrors machine.startJob minus tracing: every rank gets an
+// untraced CFS client and runs the real job body.
+func (e *engine) startJob(qj queuedJob, base int) {
+	spec := qj.spec
+	rj := &runningJob{id: qj.id, base: base, pending: spec.Nodes}
+	e.running[qj.id] = rj
+	e.jobs++
+	for rank := 0; rank < spec.Nodes; rank++ {
+		node := base + rank
+		ctx := &machine.NodeCtx{
+			Node:     node,
+			Rank:     rank,
+			JobNodes: spec.Nodes,
+			JobID:    qj.id,
+		}
+		client := cfs.NewClient(e.fs, qj.id, node, cfs.NopTracer{})
+		ctx.CFS = fsAdapter{client}
+		e.k.Spawn(fmt.Sprintf("twin/job%d/node%d", qj.id, node), func(p *sim.Proc) {
+			ctx.P = p
+			if spec.Body != nil {
+				spec.Body(ctx)
+			}
+			client.Release()
+			e.nodeDone(rj)
+		})
+	}
+}
+
+func (e *engine) nodeDone(rj *runningJob) {
+	rj.pending--
+	if rj.pending > 0 {
+		return
+	}
+	e.alloc.Free(rj.base)
+	delete(e.running, rj.id)
+	e.trySchedule()
+}

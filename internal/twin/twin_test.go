@@ -1,0 +1,97 @@
+package twin
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func smallParams(seed uint64) workload.Params {
+	wp := workload.Default(seed)
+	wp.Scale = 0.01
+	return wp
+}
+
+// TestPredictDeterministic pins that the same configuration yields the
+// same prediction, byte for byte.
+func TestPredictDeterministic(t *testing.T) {
+	a := Predict(smallParams(42), machine.NASConfig(42))
+	b := Predict(smallParams(42), machine.NASConfig(42))
+	if a.Format() != b.Format() {
+		t.Fatalf("prediction not deterministic:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+	if a.TotalBatches() == 0 {
+		t.Fatal("walk observed no I/O at all")
+	}
+}
+
+// TestPredictionWellDefined is the stability property: whatever the
+// load, the rendered prediction and every numeric field is finite —
+// saturation is a flag, never an Inf.
+func TestPredictionWellDefined(t *testing.T) {
+	for _, seed := range []uint64{1, 42} {
+		p := Predict(smallParams(seed), machine.NASConfig(seed))
+		out := p.Format()
+		for _, bad := range []string{"NaN", "Inf", "inf"} {
+			if strings.Contains(out, bad) {
+				t.Fatalf("seed %d: prediction renders %s:\n%s", seed, bad, out)
+			}
+		}
+		for i, np := range p.Nodes {
+			for name, v := range map[string]float64{
+				"rho": np.Rho, "meanService": np.MeanService, "meanWait": np.MeanWait,
+				"pkWait": np.PKWait, "queueLen": np.QueueLen,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("seed %d node %d: %s = %v", seed, i, name, v)
+				}
+			}
+			if np.Rho < 1 && np.Saturated {
+				t.Fatalf("seed %d node %d: saturated below rho=1", seed, i)
+			}
+			if np.Saturated && (np.PKWait != 0 || np.QueueLen != 0) {
+				t.Fatalf("seed %d node %d: saturated node reports finite P-K values", seed, i)
+			}
+		}
+		if p.SaturationScale < 0 || math.IsInf(p.SaturationScale, 0) || math.IsNaN(p.SaturationScale) {
+			t.Fatalf("seed %d: saturation scale %v", seed, p.SaturationScale)
+		}
+	}
+}
+
+// TestEmptyWorkloadPrediction: a schedule with zero jobs must yield an
+// all-zero, still well-defined prediction ("no I/O load observed").
+func TestEmptyWorkloadPrediction(t *testing.T) {
+	wp := workload.Params{Seed: 7, Scale: 0.01, HorizonHours: 156}
+	p := Predict(wp, machine.NASConfig(7))
+	if p.TotalBatches() != 0 || p.SaturationScale != 0 || p.Saturated() {
+		t.Fatalf("empty workload predicted load: %+v", p)
+	}
+	out := p.Format()
+	if !strings.Contains(out, "no I/O load observed") {
+		t.Fatalf("empty prediction missing the no-load line:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("empty prediction renders non-finite values:\n%s", out)
+	}
+}
+
+// TestPKFollowsLittle pins the internal consistency of the closed
+// forms: QueueLen must equal lambda * PKWait on every unsaturated node.
+func TestPKFollowsLittle(t *testing.T) {
+	p := Predict(smallParams(42), machine.NASConfig(42))
+	h := p.Horizon.ToSeconds()
+	for i, np := range p.Nodes {
+		if np.Batches == 0 || np.Saturated {
+			continue
+		}
+		lambda := float64(np.Batches) / h
+		want := lambda * np.PKWait
+		if diff := math.Abs(np.QueueLen - want); diff > 1e-12 {
+			t.Fatalf("node %d: queue length %v != lambda*Wq %v", i, np.QueueLen, want)
+		}
+	}
+}

@@ -137,13 +137,26 @@ type jobPlan struct {
 	spec machine.JobSpec
 }
 
+// Target is where a workload lands: the simulated machine, or any
+// stand-in that accepts the same preloaded files and job schedule
+// (the analytical twin's timing engine). *machine.Machine satisfies
+// it directly.
+type Target interface {
+	// ComputeNodes reports the machine size; drawn node counts are
+	// clamped to it.
+	ComputeNodes() int
+	// Preload creates a pre-existing input file of the given size.
+	Preload(name string, size int64) error
+	// SubmitAt schedules a job submission at absolute virtual time t.
+	SubmitAt(t sim.Time, spec machine.JobSpec)
+}
+
 // Install preloads the shared input data and submits the whole job
 // schedule onto the machine. It must be called before the kernel runs.
 // It returns the study horizon (pass it to analysis.Analyze).
-func (g *Generator) Install(m *machine.Machine) sim.Time {
+func (g *Generator) Install(m Target) sim.Time {
 	p := g.p
 	horizon := g.Horizon()
-	fs := m.FS()
 
 	// --- Shared input pools (pre-existing data sets). -------------
 	meshNames := make([]string, 0, scaled(p.SharedMeshFiles, p.Scale))
@@ -151,7 +164,7 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 	for i := 0; i < scaled(p.SharedMeshFiles, p.Scale); i++ {
 		name := fmt.Sprintf("/shared/mesh%d", i)
 		size := int64(20000 + sizeRNG.Int64n(12000)) // ~25 KB cluster
-		if _, err := fs.Preload(name, size); err != nil {
+		if err := m.Preload(name, size); err != nil {
 			panic(err)
 		}
 		meshNames = append(meshNames, name)
@@ -162,7 +175,7 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 	for i := 0; i < scaled(p.SharedFieldFiles, p.Scale); i++ {
 		name := fmt.Sprintf("/shared/field%d", i)
 		size := int64(200000 + sizeRNG.Int64n(150000))
-		if _, err := fs.Preload(name, size); err != nil {
+		if err := m.Preload(name, size); err != nil {
 			panic(err)
 		}
 		fieldNames = append(fieldNames, name)
@@ -175,7 +188,7 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 	for i := 0; i < scaled(p.SharedFieldFiles/4, p.Scale); i++ {
 		name := fmt.Sprintf("/shared/big%d", i)
 		size := int64(6<<20) + sizeRNG.Int64n(8<<20)
-		if _, err := fs.Preload(name, size); err != nil {
+		if err := m.Preload(name, size); err != nil {
 			panic(err)
 		}
 		bigNames = append(bigNames, name)
@@ -185,22 +198,22 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 	for i := 0; i < scaled(600, p.Scale); i++ {
 		name := fmt.Sprintf("/shared/snap%d", i)
 		size := int64(50000) + sizeRNG.Int64n(220000)
-		if _, err := fs.Preload(name, size); err != nil {
+		if err := m.Preload(name, size); err != nil {
 			panic(err)
 		}
 		snapNames = append(snapNames, name)
 	}
 	// Inputs for the untraced parallel jobs.
-	if _, err := fs.Preload("/shared/mesh-u", 24000); err != nil {
+	if err := m.Preload("/shared/mesh-u", 24000); err != nil {
 		panic(err)
 	}
-	if _, err := fs.Preload("/shared/field-u", 3<<20); err != nil {
+	if err := m.Preload("/shared/field-u", 3<<20); err != nil {
 		panic(err)
 	}
 	untracedSnaps := make([]string, 6)
 	for i := range untracedSnaps {
 		untracedSnaps[i] = fmt.Sprintf("/shared/snap-u%d", i)
-		if _, err := fs.Preload(untracedSnaps[i], 400000); err != nil {
+		if err := m.Preload(untracedSnaps[i], 400000); err != nil {
 			panic(err)
 		}
 	}
@@ -238,7 +251,7 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 	preloadRestarts := func(prefix string, nodes int, rng *stats.RNG, meanBytes int64) {
 		for r := 0; r < nodes; r++ {
 			size := meanBytes/2 + rng.Int64n(meanBytes)
-			if _, err := fs.Preload(fmt.Sprintf("%s.%d", prefix, r), size); err != nil {
+			if err := m.Preload(fmt.Sprintf("%s.%d", prefix, r), size); err != nil {
 				panic(err)
 			}
 		}
@@ -274,7 +287,7 @@ func (g *Generator) Install(m *machine.Machine) sim.Time {
 		for s := 0; s < 16+rng.Intn(13); s++ {
 			name := fmt.Sprintf("/job%d/snap.%d", jobSeq, s)
 			size := int64(50000) + rng.Int64n(220000)
-			if _, err := fs.Preload(name, size); err != nil {
+			if err := m.Preload(name, size); err != nil {
 				panic(err)
 			}
 			snaps = append(snaps, name)
