@@ -11,6 +11,7 @@
 //	charisma -scenario testdata/scenarios/fig8.json [-workers 0]
 //	charisma -sweep|-scenario ... -out runs/full [-worker-id w1] [-lease-ttl 30s]
 //	charisma serve -addr :8080 -out runs/cache [-jobs 2] [-queue 16]
+//	charisma -list
 //
 // With -fig or -table only that figure or table is printed; -report
 // (the default) prints everything. Figures 1-7 come straight from the
@@ -59,6 +60,12 @@
 // -worker-id/-lease-ttl. See the README's "Distributed runs"
 // section.
 //
+// -list prints every registered name the other modes accept --
+// machine presets, interconnect topologies, disk models, workload
+// archetypes, cache replacement policies, and fault presets -- in
+// stable order and exits. It runs nothing, so combining it with any
+// run-shaping flag is a hard error.
+//
 // `charisma serve` runs the simulation-as-a-service daemon (see
 // internal/serve and the README's "Serving" section): POST a scenario
 // spec to /v1/jobs, follow its progress over server-sent events, and
@@ -90,10 +97,15 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cachesim"
 	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/faults"
+	"repro/internal/machine"
 	"repro/internal/scenario"
 	"repro/internal/serve"
+	"repro/internal/topo"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -135,6 +147,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace", "", "also write the raw trace to this file")
 	sweep := fs.Bool("sweep", false, "run a parallel study sweep over -seeds x -scales")
 	predict := fs.Bool("predict", false, "print the analytical twin's instant M/G/1 queueing prediction instead of simulating")
+	list := fs.Bool("list", false, "print every registered name (machine presets, topologies, disk models, workload archetypes, cache policies, fault presets) and exit")
 	faultsPreset := fs.String("faults", "", "inject a named fault preset into the study or sweep: "+strings.Join(faults.PresetNames(), ", "))
 	scenarioPath := fs.String("scenario", "", "run the declarative scenario spec at this path")
 	seeds := fs.String("seeds", "", "sweep seeds: values and ranges, e.g. '3,1-5' (default: -seed)")
@@ -162,7 +175,7 @@ func appMain(argv []string, stdout, stderr io.Writer) int {
 
 	if err := run(ctx, appConfig{
 		scale: *scale, seed: *seed, fig: *fig, table: *table, report: *report,
-		traceOut: *traceOut, sweep: *sweep, predict: *predict, scenarioPath: *scenarioPath,
+		traceOut: *traceOut, sweep: *sweep, predict: *predict, list: *list, scenarioPath: *scenarioPath,
 		faultsPreset: *faultsPreset,
 		seeds:        *seeds, scales: *scales, workers: *workers,
 		outDir: *outDir, shardSpec: *shardSpec, resume: *resume,
@@ -183,6 +196,7 @@ type appConfig struct {
 	traceOut     string
 	sweep        bool
 	predict      bool
+	list         bool
 	scenarioPath string
 	faultsPreset string
 	seeds        string
@@ -249,6 +263,29 @@ func run(ctx context.Context, cfg appConfig, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+	if cfg.list {
+		// -list only consults the registries: nothing is simulated,
+		// so every flag that selects or shapes a run is a hard error
+		// naming both flags, per the same no-silent-no-op rule.
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"-sweep", cfg.sweep},
+			{"-scenario", cfg.scenarioPath != ""},
+			{"-predict", cfg.predict},
+			{"-faults", cfg.faultsPreset != ""},
+			{"-trace", cfg.traceOut != ""},
+			{"-fig", cfg.fig != 0},
+			{"-table", cfg.table != 0},
+			{"-out", cfg.outDir != ""},
+		} {
+			if f.set {
+				return fmt.Errorf("%s conflicts with -list: listing the registries runs nothing", f.name)
+			}
+		}
+		return runList(stdout)
+	}
 	store, useStore, err := parseStore(cfg)
 	if err != nil {
 		return err
@@ -278,6 +315,38 @@ func run(ctx context.Context, cfg appConfig, stdout, stderr io.Writer) error {
 		return errors.New("-out/-shard/-resume apply only to -sweep and -scenario runs")
 	}
 	return runStudy(ctx, stdout, stderr, cfg, faultsCfg)
+}
+
+// runList prints every name registry the pipeline consults, one
+// section per registry, each in its stable registry order (machine
+// presets and workload archetypes list in registration order, the
+// rest are already sorted or fixed by their registries). Scenario
+// authors read this instead of the source to learn what a machines
+// axis entry, workload mix, cache policy grid, or -faults flag may
+// name; CI smokes it to catch a registration that silently stopped
+// firing.
+func runList(stdout io.Writer) error {
+	sections := []struct {
+		title string
+		names []string
+	}{
+		{"machine presets", machine.PresetNames()},
+		{"topologies", topo.Names()},
+		{"disk models", disk.DriveNames()},
+		{"workload archetypes", workload.ArchetypeNames()},
+		{"cache policies", cachesim.PolicyNames()},
+		{"fault presets", faults.PresetNames()},
+	}
+	for i, s := range sections {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprintf(stdout, "%s:\n", s.title)
+		for _, n := range s.names {
+			fmt.Fprintf(stdout, "  %s\n", n)
+		}
+	}
+	return nil
 }
 
 // runStudy is the single-study mode: the paper's figures and tables,

@@ -288,6 +288,16 @@ func TestModeFlagConflicts(t *testing.T) {
 		{[]string{"-predict", "-fig", "8"}, "-fig", "-predict"},
 		{[]string{"-predict", "-table", "1"}, "-table", "-predict"},
 		{[]string{"-predict", "-out", "runs/x"}, "-out", "-predict"},
+		// -list consults only the registries: every run-shaping flag
+		// conflicts rather than being silently ignored.
+		{[]string{"-list", "-sweep"}, "-sweep", "-list"},
+		{[]string{"-list", "-scenario", "x.json"}, "-scenario", "-list"},
+		{[]string{"-list", "-predict"}, "-predict", "-list"},
+		{[]string{"-list", "-faults", "io-slow"}, "-faults", "-list"},
+		{[]string{"-list", "-trace", "out.trc"}, "-trace", "-list"},
+		{[]string{"-list", "-fig", "8"}, "-fig", "-list"},
+		{[]string{"-list", "-table", "1"}, "-table", "-list"},
+		{[]string{"-list", "-out", "runs/x"}, "-out", "-list"},
 	}
 	for _, tc := range cases {
 		code, out, stderr := app(tc.args...)
@@ -300,6 +310,48 @@ func TestModeFlagConflicts(t *testing.T) {
 		}
 		if out != "" {
 			t.Errorf("%v printed output despite the conflict:\n%s", tc.args, out)
+		}
+	}
+}
+
+// TestListCLI pins the -list registry dump: every registry section
+// appears in order with the names the other modes actually resolve
+// (including this PR's registrations: cluster2026, mesh, fattree,
+// nvme), and nothing is simulated so stderr stays empty.
+func TestListCLI(t *testing.T) {
+	code, out, stderr := app("-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d, stderr %q", code, stderr)
+	}
+	if stderr != "" {
+		t.Fatalf("-list wrote to stderr: %q", stderr)
+	}
+	// Section headers in order.
+	sections := []string{
+		"machine presets:", "topologies:", "disk models:",
+		"workload archetypes:", "cache policies:", "fault presets:",
+	}
+	pos := -1
+	for _, s := range sections {
+		at := strings.Index(out, s)
+		if at < 0 {
+			t.Fatalf("-list output missing section %q:\n%s", s, out)
+		}
+		if at < pos {
+			t.Fatalf("-list section %q out of order:\n%s", s, out)
+		}
+		pos = at
+	}
+	for _, name := range []string{
+		"nas", "mini", "cluster2026", // machine presets
+		"fattree", "hypercube", "mesh", // topologies
+		"cdc760", "nvme", // disk models
+		"cfd-sim", "checkpoint", // workload archetypes
+		"LRU", "SLRU", // cache policies
+		"dying-disk", "io-slow", // fault presets
+	} {
+		if !strings.Contains(out, "  "+name+"\n") {
+			t.Fatalf("-list output missing name %q:\n%s", name, out)
 		}
 	}
 }

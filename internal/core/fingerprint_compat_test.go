@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/machine"
+)
+
+// TestFingerprintCompatibility pins the store fingerprints of the
+// pre-registry configurations (captured at the commit before the
+// topology/disk model extraction). A change here orphans every run
+// store written by earlier builds, so it must be deliberate, not a
+// side effect of reshaping machine.Config or faults.Config.
+func TestFingerprintCompatibility(t *testing.T) {
+	nas := StudySpec{Label: "seed=42 scale=0.01", Config: Config{Seed: 42, Scale: 0.01}}
+	if got, want := SpecFingerprint("", nas), "9a8e384ac3bc8847e998de6ab091edff"; got != want {
+		t.Errorf("nas fingerprint = %s, want %s", got, want)
+	}
+
+	mc := machine.MiniConfig(42)
+	mini := StudySpec{Label: "seed=42 scale=0.01 mc=mini", Config: Config{Seed: 42, Scale: 0.01, Machine: &mc}}
+	if got, want := SpecFingerprint("", mini), "cf189a147f67e3f37482c62269cd3621"; got != want {
+		t.Errorf("mini fingerprint = %s, want %s", got, want)
+	}
+
+	fc := faults.Config{Windows: []faults.Window{{Node: 3, StartHours: 0, EndHours: 1, Slowdown: 4}}}
+	faulted := StudySpec{Label: "seed=42 scale=0.01", Config: Config{Seed: 42, Scale: 0.01, Faults: &fc}}
+	if got, want := SpecFingerprint("", faulted), "c1144ac215a83f6d758fe69400030624"; got != want {
+		t.Errorf("faulted fingerprint = %s, want %s", got, want)
+	}
+}

@@ -137,6 +137,48 @@ func TestScenarioCorpusWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestScenarioCorpusRegistryLeaseSplit extends the lease store's
+// split contract to the registry corpus scenarios: lowering a
+// non-default machine axis (fat-tree + NVMe cluster2026, the nas
+// preset re-wired onto a mesh) onto the store and running it as two
+// static shards must reconstruct the checked-in golden byte for
+// byte. This pins that the registry overrides fold into the study
+// fingerprints consistently across processes -- a shard that hashed
+// the axis differently would refuse the manifest or run the wrong
+// slice.
+func TestScenarioCorpusRegistryLeaseSplit(t *testing.T) {
+	for _, name := range []string{"fig8-cluster2026", "mesh-nvme"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join(corpusDir, name+".json")
+			dir := t.TempDir()
+			var res *ScenarioResult
+			for shard := 0; shard < 2; shard++ {
+				run, err := RunScenarioStore(context.Background(), loadCorpusSpec(t, path),
+					StoreConfig{Dir: dir, Shard: shard, NumShards: 2})
+				if err != nil {
+					t.Fatalf("shard %d: %v", shard, err)
+				}
+				if run.Result != nil {
+					res = run.Result
+				}
+			}
+			if res == nil {
+				t.Fatal("sharded run never produced a merged result")
+			}
+			want, err := os.ReadFile(filepath.Join(corpusDir, "golden", name+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Format(); got != string(want) {
+				t.Fatalf("sharded %s differs from its golden (first diff near byte %d)",
+					name, firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
 // TestScenarioFig8ByteIdentical is the acceptance pin: the fig8
 // corpus scenario must reproduce the pre-scenario Figure 8 pipeline
 // (RunStudy + RunFig8 + the shared formatter) byte for byte, and its

@@ -217,7 +217,7 @@ func (d fingerprintDoc) fingerprint() string {
 		fmt.Fprintf(&b, "|wl=%+v", *d.Workload)
 	}
 	if d.Machine != nil {
-		fmt.Fprintf(&b, "|mc=%+v", *d.Machine)
+		appendMachineDoc(&b, *d.Machine)
 	}
 	if d.Faults != nil {
 		fmt.Fprintf(&b, "|faults=%+v", *d.Faults)
@@ -227,6 +227,115 @@ func (d fingerprintDoc) fingerprint() string {
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:16])
+}
+
+// The legacy* mirrors reproduce, field for field, the configuration
+// struct shapes from before the topology and disk-model registries
+// existed. Machine overrides are fingerprinted through them so every
+// hypercube/rotating-drive study keeps the key it had then (stores on
+// disk stay valid); the registry-era fields (topology kind, spine
+// bandwidth, disk kind, access latency) are appended as explicit
+// segments only when they depart from the legacy hardware, so any new
+// configuration still gets a distinct key.
+// TestFingerprintCompatibility pins this.
+type legacyNetConfig struct {
+	Dim            int
+	Startup        sim.Time
+	PerHop         sim.Time
+	PerPacket      sim.Time
+	PacketBytes    int
+	BytesPerSecond float64
+}
+
+type legacyDiskConfig struct {
+	CapacityBytes  int64
+	BlockBytes     int
+	Cylinders      int
+	MinSeek        sim.Time
+	MaxSeek        sim.Time
+	RotationPeriod sim.Time
+	BytesPerSecond float64
+}
+
+type legacyIONodeConfig struct {
+	Disk         legacyDiskConfig
+	CacheBuffers int
+	Overhead     sim.Time
+	CacheHitTime sim.Time
+	Prefetch     bool
+}
+
+type legacyFSConfig struct {
+	BlockBytes int
+	IONodes    int
+	IONode     legacyIONodeConfig
+}
+
+type legacyMachineConfig struct {
+	ComputeNodes     int
+	Net              legacyNetConfig
+	FS               legacyFSConfig
+	ServiceHost      int
+	TraceBufferBytes int
+	MaxClockOffset   sim.Time
+	MaxClockDriftPPM float64
+	Seed             uint64
+	Faults           faults.Config
+}
+
+// appendMachineDoc renders one machine override into the fingerprint
+// document: the legacy-shaped struct via %+v, then the registry-era
+// extras when present.
+func appendMachineDoc(b *strings.Builder, mc machine.Config) {
+	legacy := legacyMachineConfig{
+		ComputeNodes: mc.ComputeNodes,
+		Net: legacyNetConfig{
+			Dim:            mc.Net.Dim,
+			Startup:        mc.Net.Startup,
+			PerHop:         mc.Net.PerHop,
+			PerPacket:      mc.Net.PerPacket,
+			PacketBytes:    mc.Net.PacketBytes,
+			BytesPerSecond: mc.Net.BytesPerSecond,
+		},
+		FS: legacyFSConfig{
+			BlockBytes: mc.FS.BlockBytes,
+			IONodes:    mc.FS.IONodes,
+			IONode: legacyIONodeConfig{
+				Disk: legacyDiskConfig{
+					CapacityBytes:  mc.FS.IONode.Disk.CapacityBytes,
+					BlockBytes:     mc.FS.IONode.Disk.BlockBytes,
+					Cylinders:      mc.FS.IONode.Disk.Cylinders,
+					MinSeek:        mc.FS.IONode.Disk.MinSeek,
+					MaxSeek:        mc.FS.IONode.Disk.MaxSeek,
+					RotationPeriod: mc.FS.IONode.Disk.RotationPeriod,
+					BytesPerSecond: mc.FS.IONode.Disk.BytesPerSecond,
+				},
+				CacheBuffers: mc.FS.IONode.CacheBuffers,
+				Overhead:     mc.FS.IONode.Overhead,
+				CacheHitTime: mc.FS.IONode.CacheHitTime,
+				Prefetch:     mc.FS.IONode.Prefetch,
+			},
+		},
+		ServiceHost:      mc.ServiceHost,
+		TraceBufferBytes: mc.TraceBufferBytes,
+		MaxClockOffset:   mc.MaxClockOffset,
+		MaxClockDriftPPM: mc.MaxClockDriftPPM,
+		Seed:             mc.Seed,
+		Faults:           mc.Faults,
+	}
+	fmt.Fprintf(b, "|mc=%+v", legacy)
+	if k := mc.Net.Kind; k != "" && !strings.EqualFold(k, "hypercube") {
+		fmt.Fprintf(b, "|topo=%q", strings.ToLower(k))
+	}
+	if mc.Net.SpineBytesPerSecond != 0 {
+		fmt.Fprintf(b, "|spine=%g", mc.Net.SpineBytesPerSecond)
+	}
+	if k := mc.FS.IONode.Disk.Kind; k != "" && !strings.EqualFold(k, "rotating") {
+		fmt.Fprintf(b, "|diskkind=%q", strings.ToLower(k))
+	}
+	if al := mc.FS.IONode.Disk.AccessLatency; al != 0 {
+		fmt.Fprintf(b, "|access=%d", int64(al))
+	}
 }
 
 // SpecFingerprint returns the run-store key of one study spec under

@@ -16,7 +16,9 @@ import (
 	"repro/internal/sim"
 )
 
-// Config describes a drive's geometry and speeds.
+// Config describes a drive's geometry and speeds. The mechanical
+// fields (cylinders, seeks, rotation) apply to the rotating model;
+// AccessLatency to the flash model.
 type Config struct {
 	CapacityBytes  int64    // total capacity
 	BlockBytes     int      // file-system block size (4096 on CFS)
@@ -25,6 +27,13 @@ type Config struct {
 	MaxSeek        sim.Time // full-stroke seek
 	RotationPeriod sim.Time // one revolution
 	BytesPerSecond float64  // media transfer rate
+	// Kind selects the drive model: "" or "rotating" for the
+	// position-aware mechanical drive, "flash" for a seekless drive
+	// paying a fixed access latency per request (see New).
+	Kind string
+	// AccessLatency is the flash model's fixed per-request latency,
+	// covering controller and protocol overhead.
+	AccessLatency sim.Time
 }
 
 // CDC760MB returns parameters approximating the ~760 MB SCSI drives on
@@ -79,8 +88,8 @@ func (d *Disk) SetWear(w Wear) { d.wear = &w }
 // WearExtra reports the total service time added by wear.
 func (d *Disk) WearExtra() sim.Time { return d.wearExtra }
 
-// New returns a drive with the head parked at cylinder 0.
-func New(cfg Config) *Disk {
+// newRotating returns a drive with the head parked at cylinder 0.
+func newRotating(cfg Config) *Disk {
 	if cfg.BlockBytes <= 0 || cfg.CapacityBytes <= 0 || cfg.Cylinders <= 0 {
 		panic("disk: invalid geometry")
 	}
@@ -125,7 +134,14 @@ func (d *Disk) seekTime(from, to int) sim.Time {
 	if dist < 0 {
 		dist = -dist
 	}
-	frac := math.Sqrt(dist / float64(d.cfg.Cylinders-1))
+	// A single-cylinder drive has no seek distance to normalize by;
+	// clamping the stroke length keeps the fraction finite (from == to
+	// is caught above, but degenerate geometry must never yield NaN).
+	stroke := float64(d.cfg.Cylinders - 1)
+	if stroke < 1 {
+		stroke = 1
+	}
+	frac := math.Sqrt(dist / stroke)
 	return d.cfg.MinSeek + sim.Time(frac*float64(d.cfg.MaxSeek-d.cfg.MinSeek))
 }
 
@@ -193,6 +209,12 @@ func (d *Disk) wornTime(seek, transfer sim.Time) sim.Time {
 // seek fraction sqrt(|from-to|) has E = 8/15 and E[.^2] = 1/3, and a
 // random block is almost surely non-sequential, so rotation
 // contributes a deterministic half revolution.
+// ServiceMoments implements Model with the drive's closed-form
+// random-access distribution.
+func (d *Disk) ServiceMoments() (mean, second float64) {
+	return d.cfg.RandomAccessMoments()
+}
+
 func (c Config) RandomAccessMoments() (mean, second float64) {
 	minS := c.MinSeek.ToSeconds()
 	deltaS := (c.MaxSeek - c.MinSeek).ToSeconds()

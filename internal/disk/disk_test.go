@@ -38,6 +38,41 @@ func TestInvalidConfigPanics(t *testing.T) {
 	}
 }
 
+// TestSingleCylinderSeekFinite is the regression test for the
+// seekTime divide-by-zero: a one-cylinder drive has a zero-length
+// stroke, so normalizing the seek distance by Cylinders-1 used to
+// compute dist/0 and poison every downstream service time with NaN.
+// The stroke clamp bounds any seek on degenerate geometry by the
+// full-stroke cost instead.
+func TestSingleCylinderSeekFinite(t *testing.T) {
+	cfg := CDC760MB()
+	cfg.CapacityBytes = 1 << 20
+	cfg.Cylinders = 1
+	d := New(cfg).(*Disk)
+	if got := d.seekTime(0, 0); got != 0 {
+		t.Fatalf("seekTime(0,0) = %v, want 0", got)
+	}
+	// cylinderOf can never produce two distinct cylinders on this
+	// geometry, but seekTime itself must still be total: a nonzero
+	// distance over the clamped stroke costs exactly the full-stroke
+	// seek, not Inf or NaN.
+	if got := d.seekTime(1, 0); got != cfg.MaxSeek {
+		t.Fatalf("seekTime(1,0) = %v, want MaxSeek %v", got, cfg.MaxSeek)
+	}
+	var total sim.Time
+	for i := 0; i < 32; i++ {
+		block := (int64(i) * 37) % d.Blocks()
+		st := d.ServiceTime(block, 1, false)
+		if st <= 0 {
+			t.Fatalf("ServiceTime(%d) = %v, want finite positive", block, st)
+		}
+		total += st
+	}
+	if total <= 0 || total > sim.Time(32)*(cfg.MaxSeek+cfg.RotationPeriod+sim.Second) {
+		t.Fatalf("accumulated single-cylinder service time %v out of bounds", total)
+	}
+}
+
 func TestSequentialCheaperThanRandom(t *testing.T) {
 	seqDisk := New(CDC760MB())
 	var seq sim.Time

@@ -1,0 +1,109 @@
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NVMe returns parameters for a modern NVMe-class flash drive: 1 TB,
+// ~20 us access latency and 3 GB/s sustained media rate. No seek, no
+// rotation; a request pays the fixed access latency plus transfer.
+func NVMe() Config {
+	return Config{
+		Kind:           "flash",
+		CapacityBytes:  1 << 40,
+		BlockBytes:     4096,
+		AccessLatency:  20 * sim.Microsecond,
+		BytesPerSecond: 3e9,
+	}
+}
+
+// flash models a solid-state drive: no mechanics, so service time is
+// position-independent -- a fixed access latency plus transfer at the
+// media rate. Wear maps onto the same knobs the rotating drive
+// exposes: the seek multiplier inflates the access latency (the
+// controller's error-correction and read-retry overhead grows as
+// cells age), the transfer multiplier the media rate, and the ramp
+// scales both progressively.
+type flash struct {
+	cfg    Config
+	blocks int64
+
+	reads     int64
+	writes    int64
+	busy      sim.Time
+	wear      *Wear
+	wearExtra sim.Time
+}
+
+func newFlash(cfg Config) *flash {
+	if cfg.BlockBytes <= 0 || cfg.CapacityBytes <= 0 {
+		panic("disk: invalid flash geometry")
+	}
+	if cfg.BytesPerSecond <= 0 {
+		panic("disk: invalid transfer rate")
+	}
+	if cfg.AccessLatency < 0 {
+		panic("disk: negative access latency")
+	}
+	return &flash{cfg: cfg, blocks: cfg.CapacityBytes / int64(cfg.BlockBytes)}
+}
+
+func (f *flash) Config() Config     { return f.cfg }
+func (f *flash) Blocks() int64      { return f.blocks }
+func (f *flash) Reads() int64       { return f.reads }
+func (f *flash) Writes() int64      { return f.writes }
+func (f *flash) BusyTime() sim.Time { return f.busy }
+
+func (f *flash) SetWear(w Wear) { f.wear = &w }
+
+func (f *flash) WearExtra() sim.Time { return f.wearExtra }
+
+// ServiceTime implements Model. Every request costs the same for a
+// given size: flash has no head position for the request stream to
+// exploit, which is exactly what moves the system bottleneck off the
+// drive (see PERFORMANCE.md).
+func (f *flash) ServiceTime(block int64, count int, isWrite bool) sim.Time {
+	if count <= 0 {
+		panic(fmt.Sprintf("disk: non-positive block count %d", count))
+	}
+	if block < 0 || block+int64(count) > f.blocks {
+		panic(fmt.Sprintf("disk: blocks [%d,%d) out of range [0,%d)", block, block+int64(count), f.blocks))
+	}
+	if isWrite {
+		f.writes++
+	} else {
+		f.reads++
+	}
+	access := f.cfg.AccessLatency
+	bytes := int64(count) * int64(f.cfg.BlockBytes)
+	transfer := sim.Time(float64(bytes) / f.cfg.BytesPerSecond * float64(sim.Second))
+	total := access + transfer
+	if f.wear != nil {
+		ramp := 1.0
+		if f.wear.RampPerHour > 0 && f.wear.Now != nil {
+			ramp += f.wear.RampPerHour * f.wear.Now().ToSeconds() / 3600
+		}
+		am, tm := f.wear.SeekMul, f.wear.TransferMul
+		if am < 1 {
+			am = 1
+		}
+		if tm < 1 {
+			tm = 1
+		}
+		worn := sim.Time(float64(access)*am*ramp) + sim.Time(float64(transfer)*tm*ramp)
+		f.wearExtra += worn - total
+		total = worn
+	}
+	f.busy += total
+	return total
+}
+
+// ServiceMoments implements Model: a single-block access costs the
+// same every time, so the distribution is deterministic and the
+// second moment is the squared mean.
+func (f *flash) ServiceMoments() (mean, second float64) {
+	mean = f.cfg.AccessLatency.ToSeconds() + float64(f.cfg.BlockBytes)/f.cfg.BytesPerSecond
+	return mean, mean * mean
+}

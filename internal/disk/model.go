@@ -1,0 +1,72 @@
+package disk
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Model is the drive surface the rest of the system consumes: timed
+// block transfers, geometry, operation counters, the wear hook, and
+// the closed-form service moments the analytical twin's M/G/1 model
+// is fed with. Two models implement it: the rotating drive (*Disk,
+// Config.Kind "" or "rotating") and the flash drive (Kind "flash").
+type Model interface {
+	// ServiceTime returns the modeled time to transfer count blocks
+	// starting at block, updating the drive's position state.
+	ServiceTime(block int64, count int, isWrite bool) sim.Time
+	// Blocks returns the number of addressable blocks.
+	Blocks() int64
+	// Reads, Writes, and BusyTime report operation counters.
+	Reads() int64
+	Writes() int64
+	BusyTime() sim.Time
+	// SetWear installs a wear model; WearExtra reports the service
+	// time it added.
+	SetWear(Wear)
+	WearExtra() sim.Time
+	// ServiceMoments returns the first and second moments (in
+	// seconds) of a single-block access's service time under the
+	// model's random-access distribution.
+	ServiceMoments() (mean, second float64)
+	// Config returns the drive's configuration.
+	Config() Config
+}
+
+// New builds the drive model cfg.Kind selects: "" or "rotating" is
+// the position-aware rotating drive, "flash" the seekless flash
+// drive. It panics on unknown kinds and invalid geometry, like every
+// hardware-model constructor here; registry names are validated
+// earlier via Drive.
+func New(cfg Config) Model {
+	switch strings.ToLower(cfg.Kind) {
+	case "", "rotating":
+		return newRotating(cfg)
+	case "flash":
+		return newFlash(cfg)
+	}
+	panic(fmt.Sprintf("disk: unknown model kind %q", cfg.Kind))
+}
+
+// driveNames lists the named-drive registry in stable order.
+var driveNames = [...]string{"cdc760", "nvme"}
+
+// DriveNames returns the named-drive registry (the disk models a
+// scenario's machines axis can select) in stable order.
+func DriveNames() []string {
+	return append([]string(nil), driveNames[:]...)
+}
+
+// Drive resolves a registry name (case-insensitive) to its drive
+// configuration.
+func Drive(name string) (Config, error) {
+	switch strings.ToLower(name) {
+	case "cdc760":
+		return CDC760MB(), nil
+	case "nvme":
+		return NVMe(), nil
+	}
+	return Config{}, fmt.Errorf("disk: unknown drive %q (known: %s)",
+		name, strings.Join(driveNames[:], ", "))
+}

@@ -215,10 +215,13 @@ func TestNodeStateAdmitAndScale(t *testing.T) {
 func TestNetStateLatency(t *testing.T) {
 	perHop := sim.Time(10)
 
-	// Link fault doubles dimension 1 only; mask 0b011 crosses dims 0,1.
+	// Link fault doubles link class 1 only; a message crossing classes
+	// 0 and 1 once each, plus 2 class-less peripheral hops:
+	// software 100 + 2 extra hops*10 + (1 + 2)*10 class hops +
+	// transfer 50.
 	d := NetState{cfg: Net{Links: []Link{{Dim: 1, LatencyMultiplier: 2}}}, linkMul: []float64{1, 2}}
-	// software 100 + (1 + 2)*10 hops + 2 extra hops*10 + transfer 50.
-	if got := d.Latency(100, perHop, 0b011, 2, 50); got != 100+30+20+50 {
+	base := sim.Time(100) + 2*perHop + d.HopCost(0, 1, perHop) + d.HopCost(1, 1, perHop)
+	if got := d.Message(base, 50); got != 100+30+20+50 {
 		t.Fatalf("link-degraded latency = %v, want 200", got)
 	}
 
@@ -228,10 +231,10 @@ func TestNetStateLatency(t *testing.T) {
 		cfg: Net{LatencyMultiplier: 2, BandwidthDivisor: 2, JitterMicros: 5},
 		rng: stats.NewRNG(9).Split(faultStream),
 	}
-	got := d2.Latency(100, perHop, 0b1, 0, 50)
-	base := sim.Time((100+10)*2 + 50*2)
-	if got < base || got > base+5*sim.Microsecond {
-		t.Fatalf("degraded latency %v outside [%v, %v]", got, base, base+5*sim.Microsecond)
+	got := d2.Message(100+d2.HopCost(0, 1, perHop), 50)
+	floor := sim.Time((100+10)*2 + 50*2)
+	if got < floor || got > floor+5*sim.Microsecond {
+		t.Fatalf("degraded latency %v outside [%v, %v]", got, floor, floor+5*sim.Microsecond)
 	}
 	if d2.messages != 1 || d2.jittered != 1 {
 		t.Fatalf("net stats messages=%d jittered=%d", d2.messages, d2.jittered)
@@ -242,7 +245,7 @@ func TestNetStateLatency(t *testing.T) {
 		cfg: Net{LatencyMultiplier: 2, BandwidthDivisor: 2, JitterMicros: 5},
 		rng: stats.NewRNG(9).Split(faultStream),
 	}
-	if again := d3.Latency(100, perHop, 0b1, 0, 50); again != got {
+	if again := d3.Message(100+d3.HopCost(0, 1, perHop), 50); again != got {
 		t.Fatalf("jitter not reproducible: %v vs %v", again, got)
 	}
 }

@@ -2,7 +2,6 @@ package faults
 
 import (
 	"fmt"
-	"math/bits"
 	"sort"
 
 	"repro/internal/sim"
@@ -169,41 +168,42 @@ func (s *NodeState) Scale(start, dur sim.Time) sim.Time {
 }
 
 // NetState applies the interconnect degradation and tracks message
-// statistics. It implements the hypercube.Degrader hook.
+// statistics. It implements the topo.Degrader hook: the topology
+// calls HopCost once per link class a message crosses, then Message
+// exactly once per message.
 type NetState struct {
 	cfg     Net
 	rng     *stats.RNG
-	linkMul []float64 // per-dimension multiplier, nil when no link faults
+	linkMul []float64 // per-link-class multiplier, nil when no link faults
 
 	messages int64
 	jittered int64
 	jitter   sim.Time
 }
 
-// Latency degrades one message's modeled latency. software is the
-// startup plus per-packet cost, perHop the healthy per-hop unit, mask
-// the XOR of the endpoints' cube addresses (one bit per dimension
-// crossed), extraHops the peripheral-link hops, and transfer the
-// healthy bandwidth cost. The kernel is single-threaded and every
-// simulated message calls this exactly once, so the jitter stream is
-// consumed in a deterministic order.
-func (d *NetState) Latency(software, perHop sim.Time, mask uint32, extraHops int, transfer sim.Time) sim.Time {
-	hopCost := sim.Time(extraHops) * perHop
+// HopCost returns the possibly degraded cost of hops traversals of
+// links in the given class (a hypercube dimension, a mesh axis, a
+// fat-tree level); perHop is the healthy per-hop unit. Each degraded
+// hop's cost is truncated to the clock tick individually, matching
+// the arithmetic of builds that predate the topology registry.
+func (d *NetState) HopCost(class, hops int, perHop sim.Time) sim.Time {
 	if d.linkMul == nil {
-		hopCost += sim.Time(bits.OnesCount32(mask)) * perHop
-	} else {
-		for dim := 0; mask != 0; dim++ {
-			if mask&1 != 0 {
-				m := 1.0
-				if dim < len(d.linkMul) {
-					m = d.linkMul[dim]
-				}
-				hopCost += sim.Time(float64(perHop) * m)
-			}
-			mask >>= 1
-		}
+		return sim.Time(hops) * perHop
 	}
-	t := software + hopCost
+	m := 1.0
+	if class < len(d.linkMul) {
+		m = d.linkMul[class]
+	}
+	return sim.Time(hops) * sim.Time(float64(perHop)*m)
+}
+
+// Message degrades one message's modeled latency: base is the
+// software cost plus every hop cost, transfer the healthy bandwidth
+// cost. The kernel is single-threaded and every simulated message
+// calls this exactly once, so the jitter stream is consumed in a
+// deterministic order.
+func (d *NetState) Message(base, transfer sim.Time) sim.Time {
+	t := base
 	if m := d.cfg.LatencyMultiplier; m > 1 {
 		t = sim.Time(float64(t) * m)
 	}

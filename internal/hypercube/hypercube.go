@@ -9,6 +9,10 @@
 // paying a small per-packet overhead. Link contention is not modeled:
 // the workload characteristics under study are dominated by software
 // overhead, disk service, and cache behaviour, not by link queueing.
+//
+// The package implements topo.Interconnect and registers itself as
+// "hypercube" (the topo registry's default); each cube dimension is
+// one fault-injection link class.
 package hypercube
 
 import (
@@ -16,56 +20,41 @@ import (
 	"math/bits"
 
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
-// Config holds the latency parameters of the interconnect.
-type Config struct {
-	Dim            int      // hypercube dimension; 7 for 128 nodes
-	Startup        sim.Time // per-message software latency
-	PerHop         sim.Time // additional latency per hop traversed
-	PerPacket      sim.Time // per-packet handling overhead
-	PacketBytes    int      // packetization unit (4096 on the iPSC)
-	BytesPerSecond float64  // link bandwidth
-}
+// Config is the interconnect parameter set, shared by every topology.
+type Config = topo.Config
 
-// IPSC860 returns the interconnect parameters of the iPSC/860:
-// roughly 75 us message startup, ~10 us per hop, 4 KB packets and
-// 2.8 MB/s links, consistent with published measurements of the
-// machine.
-func IPSC860() Config {
-	return Config{
-		Dim:            7,
-		Startup:        75 * sim.Microsecond,
-		PerHop:         10 * sim.Microsecond,
-		PerPacket:      15 * sim.Microsecond,
-		PacketBytes:    4096,
-		BytesPerSecond: 2.8e6,
-	}
+// IPSC860 returns the iPSC/860's interconnect parameters.
+func IPSC860() Config { return topo.IPSC860() }
+
+func init() {
+	topo.Register("hypercube",
+		func(cfg Config) int { return cfg.Dim },
+		func(k *sim.Kernel, nodes int, cfg Config) topo.Interconnect {
+			n := New(k, cfg)
+			if nodes != n.Nodes() {
+				panic(fmt.Sprintf("hypercube: dimension %d (%d nodes) disagrees with node count %d",
+					cfg.Dim, n.Nodes(), nodes))
+			}
+			return n
+		})
 }
 
 // Network is a hypercube interconnect bound to a simulation kernel.
 type Network struct {
 	k   *sim.Kernel
 	cfg Config
-	deg Degrader // nil on a healthy network
+	deg topo.Degrader // nil on a healthy network
 
 	delivered int64 // messages delivered, for instrumentation
 	bytesSent int64
 }
 
-// Degrader adjusts a message's modeled latency (see internal/faults).
-// It receives the healthy latency components: software is startup plus
-// per-packet handling, perHop the per-hop unit, mask the XOR of the
-// endpoints' addresses (one set bit per cube dimension crossed),
-// extraHops the peripheral-link hops, and transfer the bandwidth cost.
-// A nil Degrader means healthy.
-type Degrader interface {
-	Latency(software, perHop sim.Time, mask uint32, extraHops int, transfer sim.Time) sim.Time
-}
-
 // SetDegrader installs a latency degrader on the network. Call it
 // before the simulation starts.
-func (n *Network) SetDegrader(d Degrader) { n.deg = d }
+func (n *Network) SetDegrader(d topo.Degrader) { n.deg = d }
 
 // New returns a network on kernel k with the given configuration.
 func New(k *sim.Kernel, cfg Config) *Network {
@@ -92,6 +81,13 @@ func (n *Network) Delivered() int64 { return n.delivered }
 
 // BytesSent reports the total payload bytes sent so far.
 func (n *Network) BytesSent() int64 { return n.bytesSent }
+
+// LinkClasses returns the fault-injection link-class count: one class
+// per cube dimension.
+func (n *Network) LinkClasses() int { return n.cfg.Dim }
+
+// ClassName names link class d: the cube links along dimension d.
+func (n *Network) ClassName(class int) string { return fmt.Sprintf("dim%d", class) }
 
 // Hops returns the hypercube distance between two compute nodes:
 // the number of bits in which their addresses differ.
@@ -138,7 +134,15 @@ func (n *Network) latency(mask uint32, extraHops, bytes int) sim.Time {
 	software := n.cfg.Startup + sim.Time(packets)*n.cfg.PerPacket
 	transfer := sim.Time(float64(bytes) / n.cfg.BytesPerSecond * float64(sim.Second))
 	if n.deg != nil {
-		return n.deg.Latency(software, n.cfg.PerHop, mask, extraHops, transfer)
+		// One HopCost per dimension crossed (the peripheral link is
+		// class-less), then Message exactly once.
+		t := software + sim.Time(extraHops)*n.cfg.PerHop
+		for m := mask; m != 0; {
+			d := bits.TrailingZeros32(m)
+			t += n.deg.HopCost(d, 1, n.cfg.PerHop)
+			m &^= 1 << d
+		}
+		return n.deg.Message(t, transfer)
 	}
 	hops := bits.OnesCount32(mask)
 	return software + sim.Time(hops+extraHops)*n.cfg.PerHop + transfer
@@ -171,7 +175,7 @@ type Attachment struct {
 }
 
 // Attach returns an attachment at the given host compute node.
-func (n *Network) Attach(host int) *Attachment {
+func (n *Network) Attach(host int) topo.Attachment {
 	n.validate(host)
 	return &Attachment{net: n, host: host}
 }

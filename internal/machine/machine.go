@@ -17,13 +17,16 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
 // Config sizes the machine.
 type Config struct {
-	ComputeNodes     int // must be a power of two (128 at NAS)
-	Net              hypercube.Config
+	ComputeNodes int // must be a power of two (128 at NAS)
+	// Net configures the interconnect; Net.Kind selects the registered
+	// topology model ("" means hypercube).
+	Net              topo.Config
 	FS               cfs.Config
 	ServiceHost      int      // compute node the service node attaches to
 	TraceBufferBytes int      // per-node trace buffer (4096)
@@ -134,10 +137,10 @@ type Machine struct {
 	cfg Config
 	rng *stats.RNG
 
-	net         *hypercube.Network
+	net         topo.Interconnect
 	injector    *faults.Injector // nil on a healthy machine
-	ioAttach    []*hypercube.Attachment
-	svcAttach   *hypercube.Attachment
+	ioAttach    []topo.Attachment
+	svcAttach   topo.Attachment
 	fs          *cfs.FileSystem
 	clocks      []*DriftClock
 	nodeBuffers []*trace.NodeBuffer
@@ -195,14 +198,11 @@ func NewWith(k *sim.Kernel, cfg Config, arena *Arena) *Machine {
 	if !pow2 {
 		panic(fmt.Sprintf("machine: compute nodes %d not a power of two", cfg.ComputeNodes))
 	}
-	if cfg.ComputeNodes != 1<<cfg.Net.Dim {
-		panic("machine: network dimension disagrees with node count")
-	}
 	m := &Machine{
 		k:       k,
 		cfg:     cfg,
 		rng:     stats.NewRNG(cfg.Seed),
-		net:     hypercube.New(k, cfg.Net),
+		net:     topo.New(k, cfg.ComputeNodes, cfg.Net),
 		alloc:   newBuddyAllocator(order),
 		running: make(map[uint32]*runningJob),
 	}
@@ -217,7 +217,7 @@ func NewWith(k *sim.Kernel, cfg Config, arena *Arena) *Machine {
 		m.fs.SetArena(&arena.CFS)
 	}
 	if cfg.Faults.Enabled() {
-		if err := cfg.Faults.Validate(cfg.FS.IONodes, cfg.Net.Dim); err != nil {
+		if err := cfg.Faults.Validate(cfg.FS.IONodes, m.net.LinkClasses()); err != nil {
 			panic(fmt.Sprintf("machine: %v", err))
 		}
 		// The injector splits its own RNG stream; Split does not
@@ -323,7 +323,7 @@ func (m *Machine) Preload(name string, size int64) error {
 }
 
 // Network returns the interconnect.
-func (m *Machine) Network() *hypercube.Network { return m.net }
+func (m *Machine) Network() topo.Interconnect { return m.net }
 
 // FaultReport returns the degradation summary for a faulted machine,
 // or nil when the machine ran healthy. Call it after the simulation.

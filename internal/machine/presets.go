@@ -3,16 +3,22 @@ package machine
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/cfs"
+	"repro/internal/disk"
 	"repro/internal/hypercube"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
 // The machine-preset registry: stable names a scenario spec can use
 // to pick a machine configuration. "nas" is the paper's facility; the
-// others widen the scenario space beyond it.
+// others widen the scenario space beyond it. Presets register
+// themselves in init via RegisterPreset, the same discipline the
+// topology and disk-model registries follow, so a new machine is one
+// self-contained registration away.
 //
 // A preset's Seed field is zero; whoever runs a study stamps the
 // study seed onto it (core.RunStudy does this for every machine
@@ -41,24 +47,108 @@ func MiniConfig(seed uint64) Config {
 	}
 }
 
-// presetNames lists the registry in stable order.
-var presetNames = [...]string{"nas", "mini"}
+// Cluster2026Config returns a modern-cluster preset: 256 nodes on a
+// two-level fat tree with 100 Gb/s edge links and a 2:1 oversubscribed
+// spine, 16 I/O nodes with NVMe-class drives, and NTP-grade clocks
+// (millisecond offset, single-digit-ppm drift). Against the NAS
+// machine it inverts every hardware ratio the paper's analysis leans
+// on -- the network is no longer the cheap part, the disk no longer
+// the expensive one -- which is exactly what makes it a useful
+// scenario axis (see PERFORMANCE.md on where the bottleneck moves).
+func Cluster2026Config(seed uint64) Config {
+	fs := cfs.DefaultConfig()
+	fs.IONodes = 16
+	fs.IONode = cfs.IONodeConfig{
+		Disk:         disk.NVMe(),
+		CacheBuffers: 4096, // 16 MB of 4 KB buffers
+		Overhead:     10 * sim.Microsecond,
+		CacheHitTime: 1 * sim.Microsecond,
+	}
+	return Config{
+		ComputeNodes: 256,
+		Net: topo.Config{
+			Kind:                "fattree",
+			Startup:             2 * sim.Microsecond,
+			PerHop:              1 * sim.Microsecond,
+			PerPacket:           1 * sim.Microsecond,
+			PacketBytes:         4096,
+			BytesPerSecond:      12.5e9, // 100 Gb/s edge links
+			SpineBytesPerSecond: 6.25e9, // 2:1 oversubscription
+		},
+		FS:               fs,
+		ServiceHost:      0,
+		TraceBufferBytes: trace.DefaultBufferBytes,
+		MaxClockOffset:   1 * sim.Millisecond,
+		MaxClockDriftPPM: 5,
+		Seed:             seed,
+	}
+}
+
+// presetEntry pairs a registry name with its builder.
+type presetEntry struct {
+	name  string
+	build func(seed uint64) Config
+}
+
+var (
+	presetMu sync.RWMutex
+	// presets holds the registry in registration order, which is the
+	// stable order PresetNames reports.
+	presets []presetEntry
+)
+
+// RegisterPreset adds a machine preset to the registry. It panics on
+// a duplicate, empty, or non-lowercase name; call it from init.
+func RegisterPreset(name string, build func(seed uint64) Config) {
+	presetMu.Lock()
+	defer presetMu.Unlock()
+	if name == "" || name != strings.ToLower(name) {
+		panic(fmt.Sprintf("machine: register preset %q: names must be non-empty lowercase", name))
+	}
+	if build == nil {
+		panic(fmt.Sprintf("machine: register preset %q: nil builder", name))
+	}
+	for _, e := range presets {
+		if e.name == name {
+			panic(fmt.Sprintf("machine: duplicate preset registration %q", name))
+		}
+	}
+	presets = append(presets, presetEntry{name: name, build: build})
+}
+
+func init() {
+	RegisterPreset("nas", NASConfig)
+	RegisterPreset("mini", MiniConfig)
+	RegisterPreset("cluster2026", Cluster2026Config)
+}
 
 // PresetNames returns the machine-preset registry names, in stable
 // order.
 func PresetNames() []string {
-	return append([]string(nil), presetNames[:]...)
+	presetMu.RLock()
+	defer presetMu.RUnlock()
+	out := make([]string, len(presets))
+	for i, e := range presets {
+		out[i] = e.name
+	}
+	return out
 }
 
 // Preset resolves a registry name (case-insensitive) to its machine
 // configuration, with a zero seed for the caller to stamp.
 func Preset(name string) (Config, error) {
-	switch strings.ToLower(name) {
-	case "nas":
-		return NASConfig(0), nil
-	case "mini":
-		return MiniConfig(0), nil
+	key := strings.ToLower(name)
+	presetMu.RLock()
+	defer presetMu.RUnlock()
+	for _, e := range presets {
+		if e.name == key {
+			return e.build(0), nil
+		}
+	}
+	names := make([]string, len(presets))
+	for i, e := range presets {
+		names[i] = e.name
 	}
 	return Config{}, fmt.Errorf("machine: unknown preset %q (known: %s)",
-		name, strings.Join(presetNames[:], ", "))
+		name, strings.Join(names, ", "))
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // TestPresetRegistry checks every registered preset resolves to a
@@ -18,7 +19,11 @@ func TestPresetRegistry(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Preset(%q): %v", name, err)
 		}
-		if cfg.ComputeNodes != 1<<cfg.Net.Dim {
+		// Only the hypercube takes its shape from Net.Dim; other
+		// topologies size themselves from the node count.
+		if kind, err := topo.Resolve(cfg.Net.Kind); err != nil {
+			t.Fatalf("%s: topology: %v", name, err)
+		} else if kind == "hypercube" && cfg.ComputeNodes != 1<<cfg.Net.Dim {
 			t.Fatalf("%s: %d compute nodes but network dimension %d", name, cfg.ComputeNodes, cfg.Net.Dim)
 		}
 		if cfg.FS.IONodes <= 0 || cfg.FS.BlockBytes <= 0 || cfg.TraceBufferBytes <= 0 {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/topo"
 )
 
 // FuzzScenarioParse is the decoder's robustness contract: for any
@@ -43,6 +44,13 @@ func FuzzScenarioParse(f *testing.F) {
 	f.Add([]byte(`{"version":1,"name":"x","faults":{"version":1,"hotNode":{"node":0,"multiplier":2}}}`))
 	f.Add([]byte(`{"version":1,"name":"x","faults":{"version":1,"ioNodes":[{"node":0,"startHours":1e308,"endHours":-1e308,"slowdown":1e308}]}}`))
 	f.Add([]byte(`{"version":1,"name":"x","machines":["mini"],"faults":{"version":1,"ioNodes":[{"node":9,"endHours":1,"slowdown":2}]}}`))
+	f.Add([]byte(`{"version":1,"name":"x","machines":[{"preset":"nas","topology":"mesh","disk":"nvme"}]}`))
+	f.Add([]byte(`{"version":1,"name":"x","machines":[{"preset":"cluster2026"},{"preset":"mini","topology":"fattree"}]}`))
+	f.Add([]byte(`{"version":1,"name":"x","machines":[{"preset":"cluster2026","topology":"hypercube","disk":"cdc760"}]}`))
+	f.Add([]byte(`{"version":1,"name":"x","machines":[{"topology":"mesh"}]}`))
+	f.Add([]byte(`{"version":1,"name":"x","machines":[{"preset":"nas","topology":"torus"}]}`))
+	f.Add([]byte(`{"version":1,"name":"x","machines":[{"preset":"nas","disk":"tape"}]}`))
+	f.Add([]byte(`{"version":1,"name":"x","machines":[{"preset":"mini","topology":"mesh","disk":"nvme","spare":1}]}`))
 	f.Add([]byte(`{"version":1,"name":"x","replay":{"traces":["a.trc"]},"faults":{"version":1}}`))
 	f.Add([]byte(`{"version":-1}`))
 	f.Add([]byte(`null`))
@@ -86,7 +94,7 @@ func FuzzScenarioParse(f *testing.F) {
 					nas := machine.NASConfig(0)
 					mc = &nas
 				}
-				if err := fc.Validate(mc.FS.IONodes, mc.Net.Dim); err != nil {
+				if err := fc.Validate(mc.FS.IONodes, topo.LinkClasses(mc.Net)); err != nil {
 					t.Fatalf("validated spec carries faults invalid on %s: %v", m.Name, err)
 				}
 			}

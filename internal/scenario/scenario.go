@@ -23,8 +23,10 @@ import (
 	"strings"
 
 	"repro/internal/cachesim"
+	"repro/internal/disk"
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/topo"
 	"repro/internal/workload"
 )
 
@@ -80,9 +82,16 @@ type Spec struct {
 	// It never affects output, only wall time.
 	Workers int `json:"workers,omitempty"`
 
-	// Machines names machine presets (machine.PresetNames); empty
-	// means the NAS default and contributes no label component.
-	Machines []string `json:"machines,omitempty"`
+	// Machines is the machine axis. Each entry is either a bare preset
+	// name ("mini", see machine.PresetNames) or an object refining a
+	// preset with hardware-registry overrides:
+	//
+	//	{"preset": "nas", "topology": "mesh", "disk": "nvme"}
+	//
+	// (topology from topo.Names, disk from disk.DriveNames; either may
+	// be omitted to keep the preset's hardware). Empty means the NAS
+	// default and contributes no label component.
+	Machines []MachineAxis `json:"machines,omitempty"`
 
 	// Workloads is the mix axis; empty means the calibrated default
 	// mix and contributes no label component.
@@ -179,6 +188,103 @@ type CombinedSpec struct {
 	BuffersPerIONode int `json:"buffersPerIONode,omitempty"`
 	// Policies names I/O-node replacement policies; empty means {LRU}.
 	Policies []string `json:"policies,omitempty"`
+}
+
+// MachineAxis is one machines-axis entry. In JSON it decodes from
+// either a bare preset-name string or an object with registry
+// overrides; the string form "x" is equivalent to {"preset": "x"}
+// and keeps the run-store fingerprint it always had.
+type MachineAxis struct {
+	Preset   string `json:"preset"`
+	Topology string `json:"topology,omitempty"`
+	Disk     string `json:"disk,omitempty"`
+
+	// bare records that the entry decoded from the string form, so it
+	// re-encodes the same way.
+	bare bool
+}
+
+// UnmarshalJSON accepts both entry forms; the object form rejects
+// unknown fields like the rest of the spec schema.
+func (a *MachineAxis) UnmarshalJSON(data []byte) error {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '"' {
+		var s string
+		if err := json.Unmarshal(trimmed, &s); err != nil {
+			return err
+		}
+		*a = MachineAxis{Preset: s, bare: true}
+		return nil
+	}
+	type bareAxis MachineAxis // drops the methods, keeps the tags
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	var tmp bareAxis
+	if err := dec.Decode(&tmp); err != nil {
+		return err
+	}
+	*a = MachineAxis(tmp)
+	return nil
+}
+
+// MarshalJSON re-encodes the entry in the form it was written in.
+func (a MachineAxis) MarshalJSON() ([]byte, error) {
+	if a.bare || (a.Topology == "" && a.Disk == "") {
+		return json.Marshal(a.Preset)
+	}
+	type bareAxis MachineAxis
+	return json.Marshal(bareAxis(a))
+}
+
+// resolve validates one machine axis entry against the preset,
+// topology, and disk registries and builds its configuration.
+func (a MachineAxis) resolve(scenarioName string) (ResolvedMachine, error) {
+	if a.Topology == "" && a.Disk == "" {
+		// A plain preset reference follows exactly the pre-registry
+		// path: "nas" stays the nil-config default, everything else
+		// resolves through the preset registry. Fingerprints of these
+		// studies must never move.
+		if strings.EqualFold(a.Preset, "nas") {
+			return ResolvedMachine{Name: "nas"}, nil
+		}
+		cfg, err := machine.Preset(a.Preset)
+		if err != nil {
+			return ResolvedMachine{}, fmt.Errorf("scenario %s: %w", scenarioName, err)
+		}
+		return ResolvedMachine{Name: strings.ToLower(a.Preset), Config: &cfg}, nil
+	}
+	cfg, err := machine.Preset(a.Preset)
+	if err != nil {
+		return ResolvedMachine{}, fmt.Errorf("scenario %s: %w", scenarioName, err)
+	}
+	name := strings.ToLower(a.Preset)
+	if a.Topology != "" {
+		kind, err := topo.Resolve(a.Topology)
+		if err != nil {
+			return ResolvedMachine{}, fmt.Errorf("scenario %s, machine %s: %w", scenarioName, name, err)
+		}
+		cfg.Net.Kind = kind
+		if kind == "hypercube" {
+			// The hypercube takes its shape from Net.Dim; derive it
+			// from the preset's node count so any preset can be put
+			// back on a cube.
+			dim := 0
+			for 1<<dim < cfg.ComputeNodes {
+				dim++
+			}
+			cfg.Net.Dim = dim
+		}
+		name += "+" + kind
+	}
+	if a.Disk != "" {
+		dcfg, err := disk.Drive(a.Disk)
+		if err != nil {
+			return ResolvedMachine{}, fmt.Errorf("scenario %s, machine %s: %w", scenarioName, name, err)
+		}
+		cfg.FS.IONode.Disk = dcfg
+		name += "+" + strings.ToLower(a.Disk)
+	}
+	return ResolvedMachine{Name: name, Config: &cfg}, nil
 }
 
 // ResolvedMachine is one validated machine axis entry.
@@ -328,17 +434,12 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario %s: %d machines (max %d)", s.Name, len(s.Machines), maxMachines)
 	}
 	s.machines = nil
-	for _, name := range s.Machines {
-		if strings.EqualFold(name, "nas") {
-			s.machines = append(s.machines, ResolvedMachine{Name: "nas"})
-			continue
-		}
-		cfg, err := machine.Preset(name)
+	for i := range s.Machines {
+		rm, err := s.Machines[i].resolve(s.Name)
 		if err != nil {
-			return fmt.Errorf("scenario %s: %w", s.Name, err)
+			return err
 		}
-		c := cfg
-		s.machines = append(s.machines, ResolvedMachine{Name: strings.ToLower(name), Config: &c})
+		s.machines = append(s.machines, rm)
 	}
 	if len(s.machines) == 0 {
 		s.machines = []ResolvedMachine{{Name: "nas"}}
@@ -394,7 +495,7 @@ func (s *Spec) Validate() error {
 				nas := machine.NASConfig(0)
 				mc = &nas
 			}
-			if err := fc.Validate(mc.FS.IONodes, mc.Net.Dim); err != nil {
+			if err := fc.Validate(mc.FS.IONodes, topo.LinkClasses(mc.Net)); err != nil {
 				return fmt.Errorf("scenario %s (machine %s): %w", s.Name, rm.Name, err)
 			}
 		}

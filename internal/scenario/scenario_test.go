@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"encoding/json"
 	"math"
 	"path/filepath"
 	"strings"
@@ -186,14 +187,14 @@ func TestParseTooManyStudies(t *testing.T) {
 // TestValidateHandBuiltSpec: Validate works without Parse (the path
 // core.RunScenario takes for specs built in Go).
 func TestValidateHandBuiltSpec(t *testing.T) {
-	s := &Spec{Version: 1, Name: "hand", Machines: []string{"mini"}}
+	s := &Spec{Version: 1, Name: "hand", Machines: []MachineAxis{{Preset: "mini"}}}
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if s.MachineList()[0].Config == nil {
 		t.Fatal("resolution skipped")
 	}
-	s2 := &Spec{Version: 1, Name: "hand", Machines: []string{"unknown"}}
+	s2 := &Spec{Version: 1, Name: "hand", Machines: []MachineAxis{{Preset: "unknown"}}}
 	if err := s2.Validate(); err == nil {
 		t.Fatal("unknown preset accepted")
 	}
@@ -365,5 +366,76 @@ func TestParseFaults(t *testing.T) {
 		Version: 1, IONodes: []faults.WindowSpec{{Node: 0, EndHours: 1, Slowdown: math.NaN()}}}}
 	if err := nan.Validate(); err == nil {
 		t.Fatal("NaN slowdown accepted")
+	}
+}
+
+// TestMachineAxisObjectForm pins the two machines-axis entry forms:
+// bare strings resolve exactly as before the hardware registries
+// existed, objects refine a preset through them, and re-encoding
+// preserves the form each entry was written in.
+func TestMachineAxisObjectForm(t *testing.T) {
+	s, err := Parse([]byte(`{"version":1,"name":"obj","machines":[
+		"nas",
+		{"preset":"nas","topology":"mesh","disk":"nvme"},
+		{"preset":"cluster2026"},
+		{"preset":"cluster2026","topology":"hypercube","disk":"cdc760"}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := s.MachineList()
+	if len(ms) != 4 {
+		t.Fatalf("machine axis has %d entries", len(ms))
+	}
+	if ms[0].Name != "nas" || ms[0].Config != nil {
+		t.Fatalf("bare nas resolved to %+v", ms[0])
+	}
+	if ms[1].Name != "nas+mesh+nvme" || ms[1].Config == nil {
+		t.Fatalf("object entry resolved to %+v", ms[1])
+	}
+	if got := ms[1].Config.Net.Kind; got != "mesh" {
+		t.Fatalf("topology override: Net.Kind = %q", got)
+	}
+	if got := ms[1].Config.FS.IONode.Disk.Kind; got != "flash" {
+		t.Fatalf("disk override: Disk.Kind = %q", got)
+	}
+	if ms[1].Config.ComputeNodes != 128 {
+		t.Fatalf("override changed the preset shape: %d nodes", ms[1].Config.ComputeNodes)
+	}
+	if ms[2].Name != "cluster2026" || ms[2].Config == nil {
+		t.Fatalf("object preset reference resolved to %+v", ms[2])
+	}
+	// Putting a non-cube preset back on a hypercube derives Dim from
+	// the node count.
+	if ms[3].Name != "cluster2026+hypercube+cdc760" {
+		t.Fatalf("name composition: %q", ms[3].Name)
+	}
+	if dim := ms[3].Config.Net.Dim; 1<<dim != ms[3].Config.ComputeNodes {
+		t.Fatalf("hypercube override: dim %d for %d nodes", dim, ms[3].Config.ComputeNodes)
+	}
+	if k := ms[3].Config.FS.IONode.Disk.Kind; k != "" {
+		t.Fatalf("cdc760 override should restore the rotating drive, got kind %q", k)
+	}
+
+	out, err := json.Marshal(s.Machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `["nas",{"preset":"nas","topology":"mesh","disk":"nvme"},"cluster2026",` +
+		`{"preset":"cluster2026","topology":"hypercube","disk":"cdc760"}]`
+	if string(out) != want {
+		t.Fatalf("re-encoded axis:\n got %s\nwant %s", out, want)
+	}
+
+	for _, bad := range []string{
+		`{"version":1,"name":"x","machines":[{"topology":"mesh"}]}`,
+		`{"version":1,"name":"x","machines":[{"preset":"nas","topology":"torus"}]}`,
+		`{"version":1,"name":"x","machines":[{"preset":"nas","disk":"tape"}]}`,
+		`{"version":1,"name":"x","machines":[{"preset":"nas","spare":1}]}`,
+		`{"version":1,"name":"x","machines":[7]}`,
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Fatalf("accepted %s", bad)
+		}
 	}
 }

@@ -1,0 +1,96 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// base carries the state and latency components every topology model
+// here shares: the kernel, the configuration, the degradation hook,
+// and the traffic counters. Concrete models embed it and supply the
+// hop structure.
+type base struct {
+	k     *sim.Kernel
+	cfg   Config
+	nodes int
+	deg   Degrader
+
+	delivered int64
+	bytesSent int64
+}
+
+func (b *base) Nodes() int             { return b.nodes }
+func (b *base) Delivered() int64       { return b.delivered }
+func (b *base) BytesSent() int64       { return b.bytesSent }
+func (b *base) SetDegrader(d Degrader) { b.deg = d }
+
+func checkCommon(name string, cfg Config) {
+	if cfg.PacketBytes <= 0 {
+		panic(name + ": packet size must be positive")
+	}
+	if cfg.BytesPerSecond <= 0 {
+		panic(name + ": bandwidth must be positive")
+	}
+}
+
+// validate panics if id is not a compute-node address.
+func (b *base) validate(id int) {
+	if id < 0 || id >= b.nodes {
+		panic(fmt.Sprintf("topo: node %d out of range [0,%d)", id, b.nodes))
+	}
+}
+
+// software returns the per-message software cost: startup plus
+// per-packet handling, with even empty messages occupying one packet.
+func (b *base) software(bytes int) sim.Time {
+	if bytes < 0 {
+		panic("topo: negative message size")
+	}
+	packets := (bytes + b.cfg.PacketBytes - 1) / b.cfg.PacketBytes
+	if packets == 0 {
+		packets = 1
+	}
+	return b.cfg.Startup + sim.Time(packets)*b.cfg.PerPacket
+}
+
+// transferAt returns the bandwidth cost of bytes at the given rate.
+func transferAt(bytes int, bytesPerSecond float64) sim.Time {
+	return sim.Time(float64(bytes) / bytesPerSecond * float64(sim.Second))
+}
+
+// ship accounts for and schedules one message delivery.
+func (b *base) ship(lat sim.Time, bytes int, deliver func()) {
+	b.bytesSent += int64(bytes)
+	b.k.After(lat, func() {
+		b.delivered++
+		deliver()
+	})
+}
+
+// edgeNet is the internal surface the shared peripheral attachment
+// drives: a latency function that includes the peripheral hop, and
+// delivery scheduling.
+type edgeNet interface {
+	latencyFrom(src, host, bytes int) sim.Time
+	ship(lat sim.Time, bytes int, deliver func())
+}
+
+// periph implements Attachment for any edgeNet.
+type periph struct {
+	n    edgeNet
+	host int
+}
+
+func (p periph) Host() int { return p.host }
+
+func (p periph) LatencyFrom(src, bytes int) sim.Time {
+	return p.n.latencyFrom(src, p.host, bytes)
+}
+
+func (p periph) SendTo(src, bytes int, deliver func()) {
+	p.n.ship(p.n.latencyFrom(src, p.host, bytes), bytes, deliver)
+}
+
+// SendFrom is the reverse path, which costs the same.
+func (p periph) SendFrom(dst, bytes int, deliver func()) { p.SendTo(dst, bytes, deliver) }

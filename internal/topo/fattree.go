@@ -1,0 +1,114 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// fattreePod is the number of nodes under one edge switch. Machines
+// smaller than a pod collapse to a single switch.
+const fattreePod = 16
+
+func init() {
+	Register("fattree",
+		func(Config) int { return 2 }, // edge and spine levels
+		func(k *sim.Kernel, nodes int, cfg Config) Interconnect {
+			return newFattree(k, nodes, cfg)
+		})
+}
+
+// fattree is a two-level folded Clos: nodes hang off edge switches in
+// pods of 16, and every edge switch uplinks to a spine layer. Hop
+// count is distance-independent -- 2 within a pod (up to the edge
+// switch and down), 4 across pods (edge, spine, edge) -- which is the
+// property that separates a modern cluster fabric from the hypercube's
+// distance-sensitive routing. A spine crossing pays the slower of the
+// edge and spine bandwidth tiers (Config.SpineBytesPerSecond).
+//
+// Link classes: 0 = edge links (node <-> edge switch), 1 = spine
+// links (edge switch <-> spine).
+type fattree struct {
+	base
+	spineBW float64
+}
+
+func newFattree(k *sim.Kernel, nodes int, cfg Config) *fattree {
+	checkCommon("fattree", cfg)
+	if nodes <= 0 {
+		panic(fmt.Sprintf("fattree: node count %d not positive", nodes))
+	}
+	spine := cfg.SpineBytesPerSecond
+	if spine == 0 {
+		spine = cfg.BytesPerSecond
+	}
+	if spine < 0 {
+		panic("fattree: spine bandwidth must be non-negative")
+	}
+	if spine > cfg.BytesPerSecond {
+		// The transfer pays the path's slowest tier; a faster spine
+		// never shows.
+		spine = cfg.BytesPerSecond
+	}
+	return &fattree{base: base{k: k, cfg: cfg, nodes: nodes}, spineBW: spine}
+}
+
+func (f *fattree) LinkClasses() int { return 2 }
+
+func (f *fattree) ClassName(class int) string {
+	if class == 0 {
+		return "edge"
+	}
+	return "spine"
+}
+
+// latency models one message. src == dst stays on the node (software
+// cost only, as on the hypercube); a peripheral hop is class-less,
+// exactly like the cube's peripheral links.
+func (f *fattree) latency(src, dst, extraHops, bytes int) sim.Time {
+	software := f.software(bytes)
+	crossing := src/fattreePod != dst/fattreePod
+	bw := f.cfg.BytesPerSecond
+	if crossing {
+		bw = f.spineBW
+	}
+	transfer := transferAt(bytes, bw)
+	edgeHops, spineHops := 0, 0
+	if src != dst {
+		edgeHops = 2
+		if crossing {
+			spineHops = 2
+		}
+	}
+	if f.deg == nil {
+		return software + sim.Time(edgeHops+spineHops+extraHops)*f.cfg.PerHop + transfer
+	}
+	t := software + sim.Time(extraHops)*f.cfg.PerHop
+	if edgeHops > 0 {
+		t += f.deg.HopCost(0, edgeHops, f.cfg.PerHop)
+	}
+	if spineHops > 0 {
+		t += f.deg.HopCost(1, spineHops, f.cfg.PerHop)
+	}
+	return f.deg.Message(t, transfer)
+}
+
+func (f *fattree) Latency(src, dst, bytes int) sim.Time {
+	f.validate(src)
+	f.validate(dst)
+	return f.latency(src, dst, 0, bytes)
+}
+
+func (f *fattree) Send(src, dst, bytes int, deliver func()) {
+	f.ship(f.Latency(src, dst, bytes), bytes, deliver)
+}
+
+func (f *fattree) latencyFrom(src, host, bytes int) sim.Time {
+	f.validate(src)
+	return f.latency(src, host, 1, bytes)
+}
+
+func (f *fattree) Attach(host int) Attachment {
+	f.validate(host)
+	return periph{n: f, host: host}
+}

@@ -1,0 +1,98 @@
+package topo
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+func init() {
+	Register("mesh",
+		func(Config) int { return 2 }, // x and y axes
+		func(k *sim.Kernel, nodes int, cfg Config) Interconnect {
+			return newMesh(k, nodes, cfg)
+		})
+}
+
+// mesh is a k-ary 2D mesh (no wraparound links) with dimension-ordered
+// XY routing: a message travels its full x distance, then its full y
+// distance, which is deadlock-free on a mesh. Node id = y*width + x,
+// row-major. The grid is the squarest power-of-two factorization of
+// the node count (128 nodes -> 16x8), so hop distances are what a
+// machine-room mesh of that size would show.
+//
+// Link classes: 0 = x-axis links, 1 = y-axis links.
+type mesh struct {
+	base
+	width, height int
+}
+
+func newMesh(k *sim.Kernel, nodes int, cfg Config) *mesh {
+	checkCommon("mesh", cfg)
+	if nodes <= 0 || nodes&(nodes-1) != 0 {
+		panic(fmt.Sprintf("mesh: node count %d not a positive power of two", nodes))
+	}
+	order := bits.TrailingZeros(uint(nodes))
+	width := 1 << ((order + 1) / 2)
+	return &mesh{
+		base:   base{k: k, cfg: cfg, nodes: nodes},
+		width:  width,
+		height: nodes / width,
+	}
+}
+
+func (m *mesh) LinkClasses() int { return 2 }
+
+func (m *mesh) ClassName(class int) string {
+	if class == 0 {
+		return "x"
+	}
+	return "y"
+}
+
+// latency models one message: software cost, XY route hop cost, and
+// bandwidth transfer, with extraHops peripheral-link hops.
+func (m *mesh) latency(src, dst, extraHops, bytes int) sim.Time {
+	software := m.software(bytes)
+	transfer := transferAt(bytes, m.cfg.BytesPerSecond)
+	dx := src%m.width - dst%m.width
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := src/m.width - dst/m.width
+	if dy < 0 {
+		dy = -dy
+	}
+	if m.deg == nil {
+		return software + sim.Time(dx+dy+extraHops)*m.cfg.PerHop + transfer
+	}
+	t := software + sim.Time(extraHops)*m.cfg.PerHop
+	if dx > 0 {
+		t += m.deg.HopCost(0, dx, m.cfg.PerHop)
+	}
+	if dy > 0 {
+		t += m.deg.HopCost(1, dy, m.cfg.PerHop)
+	}
+	return m.deg.Message(t, transfer)
+}
+
+func (m *mesh) Latency(src, dst, bytes int) sim.Time {
+	m.validate(src)
+	m.validate(dst)
+	return m.latency(src, dst, 0, bytes)
+}
+
+func (m *mesh) Send(src, dst, bytes int, deliver func()) {
+	m.ship(m.Latency(src, dst, bytes), bytes, deliver)
+}
+
+func (m *mesh) latencyFrom(src, host, bytes int) sim.Time {
+	m.validate(src)
+	return m.latency(src, host, 1, bytes)
+}
+
+func (m *mesh) Attach(host int) Attachment {
+	m.validate(host)
+	return periph{n: m, host: host}
+}

@@ -1,0 +1,208 @@
+package topo_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hypercube" // registers "hypercube"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// testConfig returns interconnect parameters with round numbers: 4 KB
+// packets at 4.096 GB/s make a one-packet transfer exactly 1 us, so
+// expected latencies are exact integers.
+func testConfig(kind string) topo.Config {
+	return topo.Config{
+		Kind:           kind,
+		Startup:        20 * sim.Microsecond,
+		PerHop:         10 * sim.Microsecond,
+		PerPacket:      5 * sim.Microsecond,
+		PacketBytes:    4096,
+		BytesPerSecond: 4.096e9,
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := topo.Names()
+	for _, want := range []string{"fattree", "hypercube", "mesh"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry %v missing %q", names, want)
+		}
+	}
+	if kind, err := topo.Resolve(""); err != nil || kind != "hypercube" {
+		t.Fatalf(`Resolve("") = %q, %v`, kind, err)
+	}
+	if kind, err := topo.Resolve("MESH"); err != nil || kind != "mesh" {
+		t.Fatalf(`Resolve("MESH") = %q, %v`, kind, err)
+	}
+	if _, err := topo.Resolve("torus"); err == nil || !strings.Contains(err.Error(), "mesh") {
+		t.Fatalf("unknown topology error %v should list the known names", err)
+	}
+}
+
+func TestHypercubeRegistered(t *testing.T) {
+	cfg := hypercube.IPSC860()
+	n := topo.New(sim.New(), 128, cfg)
+	if n.Nodes() != 128 || n.LinkClasses() != 7 {
+		t.Fatalf("nodes=%d classes=%d", n.Nodes(), n.LinkClasses())
+	}
+	if got := n.ClassName(3); got != "dim3" {
+		t.Fatalf("ClassName(3) = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("node count disagreeing with the cube dimension did not panic")
+		}
+	}()
+	topo.New(sim.New(), 64, cfg)
+}
+
+func TestMeshLatency(t *testing.T) {
+	cfg := testConfig("mesh")
+	// 32 nodes -> 8x4 grid, row-major.
+	m := topo.New(sim.New(), 32, cfg)
+	if m.LinkClasses() != 2 || m.ClassName(0) != "x" || m.ClassName(1) != "y" {
+		t.Fatalf("classes=%d names=%q,%q", m.LinkClasses(), m.ClassName(0), m.ClassName(1))
+	}
+	// Zero-byte message to self: software cost only (one minimum
+	// packet, no hops, no transfer).
+	if got, want := m.Latency(0, 0, 0), cfg.Startup+cfg.PerPacket; got != want {
+		t.Fatalf("self latency %v, want %v", got, want)
+	}
+	// Node 9 sits at (x=1, y=1): 2 hops. One 4096-byte packet is
+	// exactly 1 us of transfer.
+	want := cfg.Startup + cfg.PerPacket + 2*cfg.PerHop + 1*sim.Microsecond
+	if got := m.Latency(0, 9, 4096); got != want {
+		t.Fatalf("Latency(0,9) = %v, want %v", got, want)
+	}
+	// XY routing distance: the far corner (x=7, y=3) is 10 hops out.
+	if got, want := m.Latency(0, 31, 0)-m.Latency(0, 0, 0), 10*cfg.PerHop; got != want {
+		t.Fatalf("corner hop cost %v, want %v", got, want)
+	}
+	// Symmetric routes.
+	if m.Latency(3, 28, 4096) != m.Latency(28, 3, 4096) {
+		t.Fatal("mesh latency not symmetric")
+	}
+	// A peripheral attachment adds one class-less hop.
+	att := m.Attach(9)
+	if att.Host() != 9 {
+		t.Fatalf("Host() = %d", att.Host())
+	}
+	if got, want := att.LatencyFrom(0, 4096), m.Latency(0, 9, 4096)+cfg.PerHop; got != want {
+		t.Fatalf("peripheral latency %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two mesh did not panic")
+		}
+	}()
+	topo.New(sim.New(), 24, cfg)
+}
+
+func TestFattreeLatency(t *testing.T) {
+	cfg := testConfig("fattree")
+	cfg.SpineBytesPerSecond = 2.048e9 // spine transfer: 2 us per packet
+	f := topo.New(sim.New(), 64, cfg) // 4 pods of 16
+	if f.LinkClasses() != 2 || f.ClassName(0) != "edge" || f.ClassName(1) != "spine" {
+		t.Fatalf("classes=%d names=%q,%q", f.LinkClasses(), f.ClassName(0), f.ClassName(1))
+	}
+	software := cfg.Startup + cfg.PerPacket
+	// In-pod: 2 edge hops, edge bandwidth -- and distance-independent.
+	inPod := software + 2*cfg.PerHop + 1*sim.Microsecond
+	if got := f.Latency(0, 1, 4096); got != inPod {
+		t.Fatalf("in-pod latency %v, want %v", got, inPod)
+	}
+	if f.Latency(0, 15, 4096) != inPod {
+		t.Fatal("in-pod latency depends on distance")
+	}
+	// Cross-pod: 2 edge + 2 spine hops at the slower spine tier -- and
+	// equally distance-independent.
+	crossPod := software + 4*cfg.PerHop + 2*sim.Microsecond
+	if got := f.Latency(0, 16, 4096); got != crossPod {
+		t.Fatalf("cross-pod latency %v, want %v", got, crossPod)
+	}
+	if f.Latency(0, 63, 4096) != crossPod {
+		t.Fatal("cross-pod latency depends on distance")
+	}
+	// Zero spine bandwidth means "same as edge"; a faster spine never
+	// shows because the transfer pays the slowest tier on the path.
+	for _, spine := range []float64{0, 1e12} {
+		cfg := testConfig("fattree")
+		cfg.SpineBytesPerSecond = spine
+		f := topo.New(sim.New(), 64, cfg)
+		if got, want := f.Latency(0, 16, 4096), software+4*cfg.PerHop+1*sim.Microsecond; got != want {
+			t.Fatalf("spine=%g: cross-pod latency %v, want %v", spine, got, want)
+		}
+	}
+}
+
+func TestSendCounters(t *testing.T) {
+	for _, kind := range []string{"mesh", "fattree"} {
+		k := sim.New()
+		n := topo.New(k, 32, testConfig(kind))
+		delivered := 0
+		n.Send(0, 9, 4096, func() { delivered++ })
+		att := n.Attach(3)
+		att.SendTo(0, 100, func() { delivered++ })
+		att.SendFrom(5, 100, func() { delivered++ })
+		k.Run()
+		if delivered != 3 || n.Delivered() != 3 {
+			t.Fatalf("%s: delivered %d / counter %d", kind, delivered, n.Delivered())
+		}
+		if n.BytesSent() != 4096+200 {
+			t.Fatalf("%s: bytesSent %d", kind, n.BytesSent())
+		}
+	}
+}
+
+// orderedDegrader records the call protocol topologies owe a
+// topo.Degrader: HopCost once per crossed link class, then Message
+// exactly once.
+type orderedDegrader struct {
+	classes []int
+	base    sim.Time
+	msgs    int
+}
+
+func (d *orderedDegrader) HopCost(class, hops int, perHop sim.Time) sim.Time {
+	d.classes = append(d.classes, class)
+	return sim.Time(hops) * perHop
+}
+
+func (d *orderedDegrader) Message(base, transfer sim.Time) sim.Time {
+	d.msgs++
+	d.base = base
+	return base + transfer
+}
+
+func TestDegraderProtocol(t *testing.T) {
+	cfg := testConfig("mesh")
+	m := topo.New(sim.New(), 32, cfg)
+	deg := &orderedDegrader{}
+	m.SetDegrader(deg)
+	// (0 -> 9) crosses one x link then one y link.
+	healthy := cfg.Startup + cfg.PerPacket + 2*cfg.PerHop + 1*sim.Microsecond
+	if got := m.Latency(0, 9, 4096); got != healthy {
+		t.Fatalf("identity degrader changed latency: %v != %v", got, healthy)
+	}
+	if len(deg.classes) != 2 || deg.classes[0] != 0 || deg.classes[1] != 1 || deg.msgs != 1 {
+		t.Fatalf("degrader protocol: classes %v, %d messages", deg.classes, deg.msgs)
+	}
+	if want := cfg.Startup + cfg.PerPacket + 2*cfg.PerHop; deg.base != want {
+		t.Fatalf("Message base %v, want software+hops %v", deg.base, want)
+	}
+	// Straight-line routes touch only the axis they use.
+	deg.classes = nil
+	m.Latency(0, 7, 0)  // same row: x only
+	m.Latency(0, 24, 0) // same column: y only
+	if len(deg.classes) != 2 || deg.classes[0] != 0 || deg.classes[1] != 1 {
+		t.Fatalf("straight-line classes %v", deg.classes)
+	}
+}

@@ -6,10 +6,10 @@ import (
 	"repro/internal/cfs"
 	"repro/internal/disk"
 	"repro/internal/faults"
-	"repro/internal/hypercube"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // engine is the twin's timing machine: the simulated iPSC/860 stripped
@@ -24,8 +24,8 @@ type engine struct {
 	k        *sim.Kernel
 	cfg      machine.Config
 	rng      *stats.RNG
-	net      *hypercube.Network
-	ioAttach []*hypercube.Attachment
+	net      topo.Interconnect
+	ioAttach []topo.Attachment
 	fs       *cfs.FileSystem
 	injector *faults.Injector
 
@@ -69,14 +69,11 @@ func newEngine(k *sim.Kernel, cfg machine.Config) *engine {
 	if !pow2 {
 		panic(fmt.Sprintf("twin: compute nodes %d not a power of two", cfg.ComputeNodes))
 	}
-	if cfg.ComputeNodes != 1<<cfg.Net.Dim {
-		panic("twin: network dimension disagrees with node count")
-	}
 	e := &engine{
 		k:       k,
 		cfg:     cfg,
 		rng:     stats.NewRNG(cfg.Seed),
-		net:     hypercube.New(k, cfg.Net),
+		net:     topo.New(k, cfg.ComputeNodes, cfg.Net),
 		alloc:   newBuddyAllocator(order),
 		running: make(map[uint32]*runningJob),
 	}
@@ -86,7 +83,7 @@ func newEngine(k *sim.Kernel, cfg machine.Config) *engine {
 	}
 	e.fs = cfs.New(k, cfg.FS, transport{e})
 	if cfg.Faults.Enabled() {
-		if err := cfg.Faults.Validate(cfg.FS.IONodes, cfg.Net.Dim); err != nil {
+		if err := cfg.Faults.Validate(cfg.FS.IONodes, e.net.LinkClasses()); err != nil {
 			panic(fmt.Sprintf("twin: %v", err))
 		}
 		// Split does not consume e.rng's state, so the injector draws

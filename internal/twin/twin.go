@@ -77,11 +77,14 @@ func Predict(wp workload.Params, mc machine.Config) *Prediction {
 // prediction assembles the walked moments into the M/G/1 closed forms.
 func (e *engine) prediction(horizon sim.Time) *Prediction {
 	nio := e.cfg.FS.IONodes
-	// Service second moment: the drive's closed-form random-access
+	// Service second moment: the drive model's closed-form service
 	// distribution shifted by the per-request software overhead. Only
 	// the squared coefficient of variation survives into P-K (the mean
 	// comes from the walk), so cache hits shrinking E[S] are absorbed.
-	dm1, dm2 := e.cfg.FS.IONode.Disk.RandomAccessMoments()
+	var dm1, dm2 float64
+	if nio > 0 {
+		dm1, dm2 = e.fs.IONode(0).Disk().ServiceMoments()
+	}
 	oh := e.cfg.FS.IONode.Overhead.ToSeconds()
 	sm1 := dm1 + oh
 	sm2 := dm2 + 2*oh*dm1 + oh*oh
